@@ -1,0 +1,308 @@
+//! iperf: the kernel-stack throughput test.
+//!
+//! The paper uses iperf "as a representative application for comparing
+//! DPDK applications to an application that uses Linux kernel networking"
+//! (§VII.C). The application side is thin — read the buffer the kernel
+//! copied in and account the bytes — so the measured cost is dominated by
+//! the kernel stack underneath it.
+
+use simnet_cpu::{ops, Op};
+use simnet_mem::Addr;
+use simnet_net::tcp;
+use simnet_net::Packet;
+use simnet_nic::i8254x::RxCompletion;
+use simnet_stack::{AppAction, PacketApp};
+
+/// The iperf server application.
+#[derive(Debug, Default)]
+pub struct Iperf {
+    bytes: u64,
+    packets: u64,
+}
+
+impl Iperf {
+    /// Creates the application.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Payload bytes received.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Packets received.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+}
+
+impl PacketApp for Iperf {
+    fn name(&self) -> &'static str {
+        "iperf"
+    }
+
+    fn on_packet(
+        &mut self,
+        completion: &RxCompletion,
+        user_buf: Addr,
+        ops_out: &mut Vec<Op>,
+    ) -> AppAction {
+        let len = completion.packet.len() as u64;
+        // iperf reads the received buffer (in the user-space copy the
+        // kernel produced) and updates counters.
+        ops::loads_over(ops_out, user_buf, len);
+        ops_out.push(Op::Compute(len / 8 + 60));
+        self.bytes += len;
+        self.packets += 1;
+        AppAction::Consume
+    }
+}
+
+/// The iperf **TCP** server: a stream sink with a real (if minimal) TCP
+/// state machine — the receiving end of the load generator's TCP client
+/// mode (the paper's future-work extension).
+///
+/// Behaviour: answers SYN with SYN-ACK; accepts in-order segments,
+/// advancing `rcv_nxt` and acknowledging cumulatively; answers
+/// out-of-order segments (after a drop) with duplicate ACKs so the client
+/// fast-retransmits.
+#[derive(Debug, Default)]
+pub struct IperfTcp {
+    established: bool,
+    rcv_nxt: u32,
+    iss: u32,
+    bytes: u64,
+    segments: u64,
+    dup_acks_sent: u64,
+    out_of_order: u64,
+}
+
+impl IperfTcp {
+    /// Creates the server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// In-order payload bytes received.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// In-order segments received.
+    pub fn segments(&self) -> u64 {
+        self.segments
+    }
+
+    /// Duplicate ACKs sent (loss signals).
+    pub fn dup_acks_sent(&self) -> u64 {
+        self.dup_acks_sent
+    }
+
+    /// Out-of-order segments observed.
+    pub fn out_of_order(&self) -> u64 {
+        self.out_of_order
+    }
+
+    fn reply(
+        &self,
+        request: &RxCompletion,
+        ip: &simnet_net::ipv4::Ipv4Header,
+        tcp_in: &tcp::TcpHeader,
+        reply_flags: u8,
+        seq: u32,
+    ) -> Packet {
+        let eth = request.packet.ethernet().expect("parsed frame has ethernet");
+        let header = tcp::TcpHeader::new(
+            tcp_in.dst_port,
+            tcp_in.src_port,
+            seq,
+            self.rcv_nxt,
+            reply_flags,
+            0xFFFF,
+        );
+        tcp::build_tcp_frame(
+            request.packet.id(),
+            eth.dst,
+            eth.src,
+            ip.dst,
+            ip.src,
+            header,
+            &[],
+        )
+    }
+}
+
+impl PacketApp for IperfTcp {
+    fn name(&self) -> &'static str {
+        "iperf-tcp"
+    }
+
+    fn on_packet(
+        &mut self,
+        completion: &RxCompletion,
+        user_buf: Addr,
+        ops_out: &mut Vec<Op>,
+    ) -> AppAction {
+        let Some((ip, header, payload)) = tcp::parse_tcp_frame(&completion.packet) else {
+            return AppAction::Consume;
+        };
+        // TCP input processing costs beyond the generic kernel path.
+        ops_out.push(Op::Compute(400));
+
+        if header.has(tcp::flags::SYN) {
+            self.established = true;
+            self.iss = 90_000;
+            self.rcv_nxt = header.seq.wrapping_add(1);
+            let synack = self.reply(
+                completion,
+                &ip,
+                &header,
+                tcp::flags::SYN | tcp::flags::ACK,
+                self.iss,
+            );
+            return AppAction::Respond(synack);
+        }
+        if !self.established {
+            return AppAction::Consume;
+        }
+        if payload.is_empty() {
+            return AppAction::Consume; // bare ACK from the client
+        }
+
+        if header.seq == self.rcv_nxt {
+            self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
+            self.bytes += payload.len() as u64;
+            self.segments += 1;
+            // The application reads the received stream.
+            ops::loads_over(ops_out, user_buf, payload.len() as u64);
+            ops_out.push(Op::Compute(payload.len() as u64 / 8 + 60));
+        } else {
+            // A hole (dropped segment): duplicate ACK re-advertises rcv_nxt.
+            self.out_of_order += 1;
+            self.dup_acks_sent += 1;
+        }
+        let ack = self.reply(
+            completion,
+            &ip,
+            &header,
+            tcp::flags::ACK,
+            self.iss.wrapping_add(1),
+        );
+        AppAction::Respond(ack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet_net::PacketBuilder;
+
+    #[test]
+    fn accounts_bytes_and_consumes() {
+        let mut app = Iperf::new();
+        let completion = RxCompletion {
+            visible_at: 0,
+            packet: PacketBuilder::new().frame_len(1024).build(1),
+            slot: 0,
+        };
+        let mut ops = Vec::new();
+        let action = app.on_packet(&completion, 0x5000_0000, &mut ops);
+        assert_eq!(action, AppAction::Consume);
+        assert_eq!(app.bytes(), 1024);
+        assert_eq!(app.packets(), 1);
+        let loads = ops.iter().filter(|o| matches!(o, Op::Load(_))).count();
+        assert_eq!(loads, 16);
+    }
+
+    use simnet_net::tcp::{build_tcp_frame, flags, parse_tcp_frame, TcpHeader};
+    use simnet_net::MacAddr;
+
+    fn tcp_completion(header: TcpHeader, payload: &[u8]) -> RxCompletion {
+        RxCompletion {
+            visible_at: 0,
+            packet: build_tcp_frame(
+                1,
+                MacAddr::simulated(2),
+                MacAddr::simulated(1),
+                [10, 0, 0, 2],
+                [10, 0, 0, 1],
+                header,
+                payload,
+            ),
+            slot: 0,
+        }
+    }
+
+    #[test]
+    fn tcp_server_handshakes() {
+        let mut app = IperfTcp::new();
+        let syn = TcpHeader::new(40_001, 5_001, 1_000, 0, flags::SYN, 0xFFFF);
+        let mut ops = Vec::new();
+        let AppAction::Respond(reply) = app.on_packet(&tcp_completion(syn, &[]), 0, &mut ops)
+        else {
+            panic!("SYN gets a reply");
+        };
+        let (_, h, _) = parse_tcp_frame(&reply).unwrap();
+        assert!(h.has(flags::SYN | flags::ACK));
+        assert_eq!(h.ack, 1_001);
+        // Reply is addressed back at the client.
+        assert_eq!(reply.ethernet().unwrap().dst, MacAddr::simulated(2));
+    }
+
+    #[test]
+    fn tcp_server_accepts_in_order_and_dup_acks_holes() {
+        let mut app = IperfTcp::new();
+        let mut ops = Vec::new();
+        let syn = TcpHeader::new(40_001, 5_001, 1_000, 0, flags::SYN, 0xFFFF);
+        app.on_packet(&tcp_completion(syn, &[]), 0, &mut ops);
+
+        // In-order segment at seq 1001.
+        let seg1 = TcpHeader::new(40_001, 5_001, 1_001, 0, flags::ACK | flags::PSH, 0xFFFF);
+        let AppAction::Respond(ack1) =
+            app.on_packet(&tcp_completion(seg1, &[9u8; 100]), 0x5000_0000, &mut ops)
+        else {
+            panic!("data gets acked");
+        };
+        let (_, h1, _) = parse_tcp_frame(&ack1).unwrap();
+        assert_eq!(h1.ack, 1_101);
+        assert_eq!(app.bytes(), 100);
+
+        // A hole: segment at 1301 while 1101 is expected -> duplicate ACK.
+        let seg_hole = TcpHeader::new(40_001, 5_001, 1_301, 0, flags::ACK | flags::PSH, 0xFFFF);
+        let AppAction::Respond(dup) =
+            app.on_packet(&tcp_completion(seg_hole, &[9u8; 100]), 0x5000_0000, &mut ops)
+        else {
+            panic!("holes get duplicate ACKs");
+        };
+        let (_, hd, _) = parse_tcp_frame(&dup).unwrap();
+        assert_eq!(hd.ack, 1_101, "duplicate ACK re-advertises rcv_nxt");
+        assert_eq!(app.bytes(), 100, "out-of-order data not counted");
+        assert_eq!(app.dup_acks_sent(), 1);
+
+        // The retransmission fills the hole.
+        let seg_fill = TcpHeader::new(40_001, 5_001, 1_101, 0, flags::ACK | flags::PSH, 0xFFFF);
+        app.on_packet(&tcp_completion(seg_fill, &[9u8; 100]), 0x5000_0000, &mut ops);
+        assert_eq!(app.bytes(), 200);
+    }
+
+    #[test]
+    fn tcp_server_ignores_noise() {
+        let mut app = IperfTcp::new();
+        let mut ops = Vec::new();
+        // Non-TCP frame.
+        let udp = RxCompletion {
+            visible_at: 0,
+            packet: PacketBuilder::new().frame_len(64).build(0),
+            slot: 0,
+        };
+        assert_eq!(app.on_packet(&udp, 0, &mut ops), AppAction::Consume);
+        // Data before a handshake.
+        let seg = TcpHeader::new(1, 2, 5, 0, flags::ACK, 10);
+        assert_eq!(
+            app.on_packet(&tcp_completion(seg, &[1u8; 10]), 0, &mut ops),
+            AppAction::Consume
+        );
+        assert_eq!(app.bytes(), 0);
+    }
+}

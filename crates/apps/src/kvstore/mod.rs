@@ -1,0 +1,259 @@
+//! The in-memory key-value store backing both memcached applications.
+//!
+//! The store is *functional* (a real hash map holding real bytes) and
+//! *performance-modeled* (each operation emits the op stream of a bucket
+//! lookup, entry pointer chase, key compare and value access at concrete
+//! simulated heap addresses, so cache behaviour is faithful).
+
+use std::collections::HashMap;
+
+use simnet_cpu::{ops, Op};
+use simnet_mem::{layout, Addr};
+use simnet_sim::random::{SimRng, Zipf};
+use simnet_sim::stats::Counter;
+
+/// Byte stride reserved per entry in the simulated heap.
+const ENTRY_STRIDE: u64 = 256;
+/// Offset of the entry region above the bucket array.
+const ENTRY_REGION_OFFSET: u64 = 16 << 20;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    index: usize,
+    value: Vec<u8>,
+}
+
+/// KV-store statistics.
+#[derive(Debug, Default, Clone)]
+pub struct KvStats {
+    /// GET hits.
+    pub hits: Counter,
+    /// GET misses.
+    pub misses: Counter,
+    /// SETs applied.
+    pub sets: Counter,
+}
+
+/// The store.
+///
+/// ```
+/// use simnet_apps::KvStore;
+/// let mut store = KvStore::new(4096);
+/// let mut ops = Vec::new();
+/// store.set(b"k".to_vec(), b"v".to_vec(), &mut ops);
+/// assert_eq!(store.get(b"k", &mut ops), Some(&b"v"[..]));
+/// assert_eq!(store.get(b"absent", &mut ops), None);
+/// assert!(!ops.is_empty(), "operations emit modeled work");
+/// ```
+#[derive(Debug)]
+pub struct KvStore {
+    buckets: u64,
+    map: HashMap<Vec<u8>, Entry>,
+    next_entry: usize,
+    stats: KvStats,
+}
+
+impl KvStore {
+    /// Creates a store with `buckets` hash buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    pub fn new(buckets: u64) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        Self {
+            buckets,
+            map: HashMap::new(),
+            next_entry: 0,
+            stats: KvStats::default(),
+        }
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Operation statistics.
+    pub fn stats(&self) -> &KvStats {
+        &self.stats
+    }
+
+    fn hash(key: &[u8]) -> u64 {
+        // FNV-1a.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    fn bucket_addr(&self, key: &[u8]) -> Addr {
+        layout::HEAP_BASE + (Self::hash(key) % self.buckets) * 8
+    }
+
+    fn entry_addr(index: usize) -> Addr {
+        layout::HEAP_BASE + ENTRY_REGION_OFFSET + index as u64 * ENTRY_STRIDE
+    }
+
+    fn emit_lookup_path(&self, key: &[u8], entry: Option<&Entry>, ops_out: &mut Vec<Op>) {
+        // Hash the key (touches the key bytes)...
+        ops_out.push(Op::Compute(30 + 2 * key.len() as u64));
+        // ...walk the bucket pointer...
+        ops_out.push(Op::DependentLoad(self.bucket_addr(key)));
+        if let Some(entry) = entry {
+            let addr = Self::entry_addr(entry.index);
+            // ...chase to the entry and compare the stored key.
+            ops_out.push(Op::DependentLoad(addr));
+            ops::loads_over(ops_out, addr, key.len().max(8) as u64);
+            ops_out.push(Op::Compute(key.len() as u64));
+        }
+    }
+
+    /// Looks up `key`, emitting the modeled work into `ops_out`.
+    pub fn get(&mut self, key: &[u8], ops_out: &mut Vec<Op>) -> Option<&[u8]> {
+        // Split borrows: compute the path first.
+        let entry_snapshot = self.map.get(key).map(|e| (e.index, e.value.len()));
+        match entry_snapshot {
+            Some((index, value_len)) => {
+                self.emit_lookup_path(
+                    key,
+                    Some(&Entry {
+                        index,
+                        value: Vec::new(),
+                    }),
+                    ops_out,
+                );
+                // Read the value out of the entry.
+                ops::loads_over(
+                    ops_out,
+                    Self::entry_addr(index) + 64,
+                    value_len.max(1) as u64,
+                );
+                self.stats.hits.inc();
+                self.map.get(key).map(|e| e.value.as_slice())
+            }
+            None => {
+                self.emit_lookup_path(key, None, ops_out);
+                self.stats.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Inserts or replaces `key` → `value`, emitting the modeled work.
+    pub fn set(&mut self, key: Vec<u8>, value: Vec<u8>, ops_out: &mut Vec<Op>) {
+        let index = match self.map.get(&key) {
+            Some(e) => e.index,
+            None => {
+                let i = self.next_entry;
+                self.next_entry += 1;
+                i
+            }
+        };
+        self.emit_lookup_path(
+            &key,
+            Some(&Entry {
+                index,
+                value: Vec::new(),
+            }),
+            ops_out,
+        );
+        // Write the value into the entry.
+        let addr = Self::entry_addr(index) + 64;
+        ops::stores_over(ops_out, addr, value.len().max(1) as u64);
+        self.stats.sets.inc();
+        self.map.insert(key, Entry { index, value });
+    }
+
+    /// Warms the store with `count` keys named by
+    /// [`simnet_net::proto::memcached::nth_key`], with Zipfian value
+    /// lengths — the paper warms "the Memcached server with 5000 keys"
+    /// (§VI.A).
+    pub fn warm(&mut self, count: u64, lengths: &Zipf, rng: &mut SimRng) {
+        let mut scratch = Vec::new();
+        for i in 0..count {
+            let key = simnet_net::proto::memcached::nth_key(i);
+            let len = lengths.sample(rng) as usize;
+            let value = vec![(i % 251) as u8; len];
+            self.set(key, value, &mut scratch);
+            scratch.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet_net::proto::memcached::nth_key;
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut store = KvStore::new(1024);
+        let mut ops = Vec::new();
+        store.set(b"alpha".to_vec(), vec![1, 2, 3], &mut ops);
+        assert_eq!(store.get(b"alpha", &mut ops), Some(&[1u8, 2, 3][..]));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats().hits.value(), 1);
+        assert_eq!(store.stats().sets.value(), 1);
+    }
+
+    #[test]
+    fn miss_is_counted_and_cheap() {
+        let mut store = KvStore::new(1024);
+        let mut hit_ops = Vec::new();
+        let mut miss_ops = Vec::new();
+        store.set(b"k".to_vec(), vec![0; 100], &mut Vec::new());
+        store.get(b"k", &mut hit_ops);
+        store.get(b"nope", &mut miss_ops);
+        assert_eq!(store.stats().misses.value(), 1);
+        assert!(miss_ops.len() < hit_ops.len());
+    }
+
+    #[test]
+    fn overwrite_keeps_entry_slot() {
+        let mut store = KvStore::new(64);
+        let mut ops = Vec::new();
+        store.set(b"k".to_vec(), vec![1], &mut ops);
+        store.set(b"k".to_vec(), vec![2, 2], &mut ops);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(b"k", &mut ops), Some(&[2u8, 2][..]));
+    }
+
+    #[test]
+    fn lookups_emit_dependent_chains() {
+        let mut store = KvStore::new(64);
+        let mut ops = Vec::new();
+        store.set(b"key".to_vec(), vec![0; 64], &mut Vec::new());
+        store.get(b"key", &mut ops);
+        let chases = ops
+            .iter()
+            .filter(|o| matches!(o, Op::DependentLoad(_)))
+            .count();
+        assert_eq!(chases, 2, "bucket + entry pointer chase");
+    }
+
+    #[test]
+    fn warm_populates_paper_keyspace() {
+        let mut store = KvStore::new(4096);
+        let zipf = Zipf::paper_lengths();
+        let mut rng = SimRng::seed_from(1);
+        store.warm(5000, &zipf, &mut rng);
+        assert_eq!(store.len(), 5000);
+        let mut ops = Vec::new();
+        let v = store.get(&nth_key(1234), &mut ops).expect("warmed key");
+        assert!((10..=100).contains(&v.len()));
+    }
+
+    #[test]
+    fn values_land_at_distinct_heap_addresses() {
+        assert_ne!(KvStore::entry_addr(0), KvStore::entry_addr(1));
+        assert!(KvStore::entry_addr(0) >= layout::HEAP_BASE);
+    }
+}

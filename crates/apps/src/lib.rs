@@ -1,0 +1,34 @@
+//! The `simnet` network benchmark suite (§V of the paper).
+//!
+//! "We introduce six networking applications, four of which are
+//! network-intensive microbenchmarks and two real in-memory key-value
+//! stores":
+//!
+//! | App | Module | Character |
+//! |---|---|---|
+//! | `TestPMD` | [`testpmd`] | shallow L2 forward (macswap), core-bound only at small packets |
+//! | `TouchFwd` | [`touch`] | forwards while touching the whole payload (deep network function) |
+//! | `TouchDrop` | [`touch`] | touches the whole payload, then drops |
+//! | `RXpTX` | [`rxptx`] | receive → configurable processing interval → transmit |
+//! | `MemcachedDPDK` | [`memcached`] | KV store over the DPDK stack |
+//! | `MemcachedKernel` | [`memcached`] | KV store over the kernel stack |
+//!
+//! Plus [`iperf`], the kernel-stack throughput test the paper uses as the
+//! kernel-networking representative in its sensitivity studies (§VII.C).
+//!
+//! Every app implements [`simnet_stack::PacketApp`], emitting compute and
+//! concrete memory-touch ops that the core model prices.
+
+pub mod iperf;
+pub mod kvstore;
+pub mod memcached;
+pub mod rxptx;
+pub mod testpmd;
+pub mod touch;
+
+pub use iperf::{Iperf, IperfTcp};
+pub use kvstore::KvStore;
+pub use memcached::{MemcachedDpdk, MemcachedKernel};
+pub use rxptx::RxpTx;
+pub use testpmd::{ForwardMode, TestPmd};
+pub use touch::{TouchDrop, TouchFwd};

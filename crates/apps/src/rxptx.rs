@@ -1,0 +1,138 @@
+//! RXpTX: receive, process for a configurable interval, transmit.
+//!
+//! "RXpTX receives a burst of packets from NIC, waits for a processing
+//! interval, and transmits them over the network. Changing processing time
+//! can model network functions with different DMA to core use distances"
+//! (§V). The paper sweeps the interval from 10 ns to 10 µs (Fig. 13) and
+//! uses 10 ns / 1 µs as its fast/slow configurations.
+
+use simnet_cpu::Op;
+use simnet_mem::Addr;
+use simnet_nic::i8254x::RxCompletion;
+use simnet_sim::tick::Frequency;
+use simnet_sim::Tick;
+use simnet_stack::{AppAction, PacketApp};
+
+/// The RXpTX application.
+#[derive(Debug)]
+pub struct RxpTx {
+    proc_time: Tick,
+    instructions: u64,
+    forwarded: u64,
+}
+
+impl RxpTx {
+    /// Creates RXpTX with the given per-packet processing interval. The
+    /// interval is converted to instructions at the paper's reference
+    /// core (4-wide, 3 GHz), so it scales with core frequency in the
+    /// Fig. 15 sweep — processing is compute, not a wall-clock sleep.
+    pub fn new(proc_time: Tick) -> Self {
+        let reference = Frequency::ghz(3.0);
+        let cycles = reference.ticks_to_cycles(proc_time);
+        Self {
+            proc_time,
+            instructions: cycles * 4,
+            forwarded: 0,
+        }
+    }
+
+    /// The configured processing interval.
+    pub fn proc_time(&self) -> Tick {
+        self.proc_time
+    }
+
+    /// Packets forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+}
+
+impl PacketApp for RxpTx {
+    fn name(&self) -> &'static str {
+        "rxptx"
+    }
+
+    fn on_burst(&mut self, _count: usize, ops: &mut Vec<Op>) {
+        // "Receives a burst of packets from NIC, waits for a processing
+        // interval, and transmits them" — the interval is paid once per
+        // received burst.
+        ops.push(Op::Compute(self.instructions.max(4)));
+    }
+
+    fn on_packet(
+        &mut self,
+        completion: &RxCompletion,
+        mbuf_addr: Addr,
+        ops: &mut Vec<Op>,
+    ) -> AppAction {
+        // Touch the header (the forwarding decision).
+        ops.push(Op::Load(mbuf_addr));
+        ops.push(Op::Compute(8));
+        self.forwarded += 1;
+        AppAction::Forward(completion.packet.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet_net::PacketBuilder;
+    use simnet_sim::tick::{ns, us};
+
+    fn completion() -> RxCompletion {
+        RxCompletion {
+            visible_at: 0,
+            packet: PacketBuilder::new().frame_len(128).build(1),
+            slot: 0,
+        }
+    }
+
+    #[test]
+    fn processing_time_converts_to_instructions() {
+        // 1 µs at 3 GHz, 4-wide = 3000 cycles = 12000 instructions.
+        let app = RxpTx::new(us(1));
+        assert_eq!(app.instructions, 12_000);
+        // 10 ns = 30 cycles = 120 instructions.
+        assert_eq!(RxpTx::new(ns(10)).instructions, 120);
+    }
+
+    #[test]
+    fn forwards_every_packet() {
+        let mut app = RxpTx::new(ns(100));
+        let mut ops = Vec::new();
+        let action = app.on_packet(&completion(), 0, &mut ops);
+        assert!(matches!(action, AppAction::Forward(_)));
+        assert_eq!(app.forwarded(), 1);
+        assert_eq!(app.proc_time(), ns(100));
+    }
+
+    #[test]
+    fn interval_is_paid_once_per_burst() {
+        let mut app = RxpTx::new(us(1));
+        let mut burst_ops = Vec::new();
+        app.on_burst(32, &mut burst_ops);
+        let burst_instr: u64 = burst_ops.iter().map(simnet_cpu::Op::instructions).sum();
+        assert_eq!(burst_instr, 12_000);
+        let mut pkt_ops = Vec::new();
+        app.on_packet(&completion(), 0, &mut pkt_ops);
+        let pkt_instr: u64 = pkt_ops.iter().map(simnet_cpu::Op::instructions).sum();
+        assert!(pkt_instr < 100, "per-packet work is small: {pkt_instr}");
+    }
+
+    #[test]
+    fn longer_interval_means_more_instructions() {
+        let fast = RxpTx::new(ns(10));
+        let slow = RxpTx::new(us(10));
+        assert!(slow.instructions > fast.instructions * 500);
+    }
+
+    #[test]
+    fn zero_interval_still_costs_something() {
+        let mut app = RxpTx::new(0);
+        let mut ops = Vec::new();
+        app.on_burst(1, &mut ops);
+        app.on_packet(&completion(), 0, &mut ops);
+        let instr: u64 = ops.iter().map(Op::instructions).sum();
+        assert!(instr >= 4);
+    }
+}

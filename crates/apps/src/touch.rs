@@ -1,0 +1,163 @@
+//! TouchFwd and TouchDrop: deep network functions that bring the entire
+//! payload to the core.
+//!
+//! "TouchFwd extends TestPMD with an extra loop that brings the payload to
+//! the core (subsequently to L2 and L1 caches). TouchFwd can be used to
+//! model deep network functions such as Deep Packet Inspection. ...
+//! TouchDrop is a variation of TouchFwd that does not implement the
+//! transmission phase" (§V).
+
+use simnet_cpu::{ops, Op};
+use simnet_mem::Addr;
+use simnet_nic::i8254x::RxCompletion;
+use simnet_stack::{AppAction, PacketApp};
+
+/// Instructions of inspection work per payload byte (an unvectorized
+/// byte-wise scan loop: load, extract, accumulate, compare, branch).
+const INSTRUCTIONS_PER_BYTE: u64 = 10;
+
+fn touch_payload(packet_len: usize, addr: Addr, ops_out: &mut Vec<Op>) {
+    let len = packet_len as u64;
+    // Every payload cache line comes to the core...
+    ops::loads_over(ops_out, addr, len);
+    // ...and the byte loop consumes it.
+    ops_out.push(Op::Compute(len * INSTRUCTIONS_PER_BYTE));
+}
+
+/// TouchFwd: touch every payload byte, then forward at L2.
+#[derive(Debug, Default)]
+pub struct TouchFwd {
+    forwarded: u64,
+}
+
+impl TouchFwd {
+    /// Creates the application.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Packets forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+}
+
+impl PacketApp for TouchFwd {
+    fn name(&self) -> &'static str {
+        "touchfwd"
+    }
+
+    fn on_packet(
+        &mut self,
+        completion: &RxCompletion,
+        mbuf_addr: Addr,
+        ops: &mut Vec<Op>,
+    ) -> AppAction {
+        ops.push(Op::Compute(40));
+        touch_payload(completion.packet.len(), mbuf_addr, ops);
+        let mut packet = completion.packet.clone();
+        packet.macswap();
+        ops.push(Op::Store(mbuf_addr));
+        self.forwarded += 1;
+        AppAction::Forward(packet)
+    }
+}
+
+/// TouchDrop: touch every payload byte, then drop.
+#[derive(Debug, Default)]
+pub struct TouchDrop {
+    consumed: u64,
+}
+
+impl TouchDrop {
+    /// Creates the application.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Packets consumed so far.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+}
+
+impl PacketApp for TouchDrop {
+    fn name(&self) -> &'static str {
+        "touchdrop"
+    }
+
+    fn on_packet(
+        &mut self,
+        completion: &RxCompletion,
+        mbuf_addr: Addr,
+        ops: &mut Vec<Op>,
+    ) -> AppAction {
+        ops.push(Op::Compute(30));
+        touch_payload(completion.packet.len(), mbuf_addr, ops);
+        self.consumed += 1;
+        AppAction::Consume
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet_net::PacketBuilder;
+
+    fn completion(len: usize) -> RxCompletion {
+        RxCompletion {
+            visible_at: 0,
+            packet: PacketBuilder::new().frame_len(len).build(1),
+            slot: 0,
+        }
+    }
+
+    fn total_instructions(ops: &[Op]) -> u64 {
+        ops.iter().map(Op::instructions).sum()
+    }
+
+    fn payload_loads(ops: &[Op]) -> usize {
+        ops.iter().filter(|o| matches!(o, Op::Load(_))).count()
+    }
+
+    #[test]
+    fn work_scales_with_packet_size() {
+        let mut app = TouchFwd::new();
+        let mut small = Vec::new();
+        let mut large = Vec::new();
+        app.on_packet(&completion(64), 0x2000_0000, &mut small);
+        app.on_packet(&completion(1518), 0x2000_0000, &mut large);
+        assert!(total_instructions(&large) > total_instructions(&small) * 15);
+        assert_eq!(payload_loads(&small), 1);
+        assert_eq!(payload_loads(&large), 24);
+    }
+
+    #[test]
+    fn touchfwd_forwards_with_macswap() {
+        let mut app = TouchFwd::new();
+        let mut ops = Vec::new();
+        let action = app.on_packet(&completion(256), 0, &mut ops);
+        assert!(matches!(action, AppAction::Forward(_)));
+        assert_eq!(app.forwarded(), 1);
+    }
+
+    #[test]
+    fn touchdrop_consumes() {
+        let mut app = TouchDrop::new();
+        let mut ops = Vec::new();
+        let action = app.on_packet(&completion(256), 0, &mut ops);
+        assert_eq!(action, AppAction::Consume);
+        assert_eq!(app.consumed(), 1);
+    }
+
+    #[test]
+    fn touchdrop_does_less_work_than_touchfwd() {
+        let mut fwd = TouchFwd::new();
+        let mut drop = TouchDrop::new();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        fwd.on_packet(&completion(512), 0, &mut a);
+        drop.on_packet(&completion(512), 0, &mut b);
+        assert!(total_instructions(&b) < total_instructions(&a));
+    }
+}

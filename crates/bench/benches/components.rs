@@ -1,0 +1,104 @@
+//! Microbenchmarks of the simulator's hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet_cpu::{Core, CoreConfig, Op};
+use simnet_mem::{AccessClass, Cache, CacheConfig, DramConfig, DramController, MemoryConfig, MemorySystem};
+use simnet_net::{MacAddr, PacketBuilder};
+use simnet_sim::EventQueue;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(i * 7 % 997, i);
+            }
+            let mut sum = 0u64;
+            while let Some(e) = q.pop() {
+                sum = sum.wrapping_add(e.payload);
+            }
+            sum
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache_lookup_fill_stream", |b| {
+        let mut cache = Cache::new("bench", CacheConfig::new(1 << 20, 8));
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x1D872B41);
+            let addr = (i ^ (i >> 13)) & 0xFF_FFFF;
+            if !cache.lookup(addr, AccessClass::Core, false) {
+                cache.fill(addr, AccessClass::Core, false);
+            }
+        })
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram_streaming_access", |b| {
+        let mut dram = DramController::new(DramConfig::ddr4_2400(2));
+        let mut now = 0;
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr += 64;
+            now = dram.access(now, addr, addr % 128 == 0);
+            now
+        })
+    });
+}
+
+fn bench_memory_system(c: &mut Criterion) {
+    c.bench_function("memory_system_dma_write_1518", |b| {
+        let mut mem = MemorySystem::new(MemoryConfig::table1_gem5());
+        let mut now = 0;
+        let mut slot = 0usize;
+        b.iter(|| {
+            slot = (slot + 1) % 1024;
+            let done = mem.dma_write(now, simnet_mem::layout::mbuf_addr(slot), 1518);
+            now = done.max(now);
+            done
+        })
+    });
+}
+
+fn bench_core(c: &mut Criterion) {
+    c.bench_function("ooo_core_mixed_ops", |b| {
+        let mut mem = MemorySystem::new(MemoryConfig::table1_gem5());
+        let mut core = Core::new(CoreConfig::table1_ooo());
+        let ops: Vec<Op> = (0..64u64)
+            .flat_map(|i| [Op::Compute(50), Op::Load(0x4000_0000 + i * 320)])
+            .collect();
+        let mut now = 0;
+        b.iter(|| {
+            now = core.execute(now, &ops, &mut mem);
+            now
+        })
+    });
+}
+
+fn bench_packet_build(c: &mut Criterion) {
+    c.bench_function("packet_builder_udp", |b| {
+        let mut builder = PacketBuilder::new();
+        builder
+            .dst(MacAddr::simulated(1))
+            .src(MacAddr::simulated(2))
+            .udp([10, 0, 0, 1], [10, 0, 0, 2], 4000, 11211)
+            .payload(&[7u8; 100])
+            .frame_len(256);
+        let mut id = 0;
+        b.iter(|| {
+            id += 1;
+            builder.build(id)
+        })
+    });
+}
+
+criterion_group! {
+    name = components;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_queue, bench_cache, bench_dram, bench_memory_system,
+              bench_core, bench_packet_build
+}
+criterion_main!(components);

@@ -1,0 +1,318 @@
+//! One benchmark group per paper table/figure.
+//!
+//! Each group (a) prints a reduced set of the figure's rows once, so
+//! `cargo bench` output shows the reproduced series, and (b) benchmarks
+//! that figure's representative simulation kernel so regressions in the
+//! simulator's speed show up per-experiment.
+//!
+//! The full-fidelity sweeps live in the `repro` binary
+//! (`cargo run --release -p simnet-harness --bin repro`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet_cpu::CoreKind;
+use simnet_harness::experiments::{self, Effort};
+use simnet_harness::{find_msb, run_point, AppSpec, RunConfig, SystemConfig};
+use simnet_sim::tick::{ns, us, Frequency};
+
+fn print_header(name: &str) {
+    println!("\n===== {name} =====");
+}
+
+fn bench_table1(c: &mut Criterion) {
+    print_header("Table I — system configurations");
+    let out = experiments::table1::run();
+    out.emit(std::path::Path::new("results/bench"));
+    c.bench_function("table1_config", |b| {
+        b.iter(|| {
+            let cfg = SystemConfig::gem5();
+            std::hint::black_box(cfg.mem.llc.size)
+        })
+    });
+}
+
+fn bench_fig05(c: &mut Criterion) {
+    print_header("Fig. 5 — drop breakdown at the knee");
+    let cfg = SystemConfig::gem5();
+    for (spec, size) in [(AppSpec::TestPmd, 64), (AppSpec::TestPmd, 1518)] {
+        let s = run_point(&cfg, &spec, size, 70.0, RunConfig::fast());
+        let (dma, core, tx) = s.drop_breakdown;
+        println!(
+            "{}-{}B overload: Core {:.0}% Dma {:.0}% Tx {:.0}%",
+            spec.label(),
+            size,
+            core * 100.0,
+            dma * 100.0,
+            tx * 100.0
+        );
+    }
+    c.bench_function("fig05_drop_breakdown", |b| {
+        b.iter(|| run_point(&cfg, &AppSpec::TestPmd, 64, 70.0, RunConfig::fast()))
+    });
+}
+
+fn curve_rows(spec: AppSpec, loads: &[f64], size: usize) {
+    for cfg in [SystemConfig::gem5(), SystemConfig::altra()] {
+        for &offered in loads {
+            let s = run_point(&cfg, &spec, size, offered, RunConfig::fast());
+            println!(
+                "{:6} {}B offered {:5.1}G -> achieved {:5.1}G drop {:4.1}%",
+                cfg.name,
+                size,
+                offered,
+                s.achieved_gbps(),
+                s.drop_rate * 100.0
+            );
+        }
+    }
+}
+
+fn bench_fig06(c: &mut Criterion) {
+    print_header("Fig. 6 — TestPMD bandwidth vs drop");
+    curve_rows(AppSpec::TestPmd, &[20.0, 60.0], 1518);
+    let cfg = SystemConfig::gem5();
+    c.bench_function("fig06_testpmd_point", |b| {
+        b.iter(|| run_point(&cfg, &AppSpec::TestPmd, 1518, 60.0, RunConfig::fast()))
+    });
+}
+
+fn bench_fig07(c: &mut Criterion) {
+    print_header("Fig. 7 — TouchFwd bandwidth vs drop");
+    curve_rows(AppSpec::TouchFwd, &[4.0, 12.0], 512);
+    let cfg = SystemConfig::gem5();
+    c.bench_function("fig07_touchfwd_point", |b| {
+        b.iter(|| run_point(&cfg, &AppSpec::TouchFwd, 512, 12.0, RunConfig::fast()))
+    });
+}
+
+fn bench_fig08(c: &mut Criterion) {
+    print_header("Fig. 8 — RXpTX-10ns bandwidth vs drop");
+    curve_rows(AppSpec::RxpTx(ns(10)), &[20.0, 60.0], 256);
+    let cfg = SystemConfig::gem5();
+    c.bench_function("fig08_rxptx10ns_point", |b| {
+        b.iter(|| run_point(&cfg, &AppSpec::RxpTx(ns(10)), 256, 40.0, RunConfig::fast()))
+    });
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    print_header("Fig. 9 — RXpTX-1us bandwidth vs drop");
+    curve_rows(AppSpec::RxpTx(us(1)), &[8.0, 24.0], 256);
+    let cfg = SystemConfig::gem5();
+    c.bench_function("fig09_rxptx1us_point", |b| {
+        b.iter(|| run_point(&cfg, &AppSpec::RxpTx(us(1)), 256, 16.0, RunConfig::fast()))
+    });
+}
+
+fn msb_row(cfg: &SystemConfig, label: &str, spec: AppSpec, size: usize) {
+    let m = find_msb(cfg, &spec, size, 0.5, 90.0, 5, RunConfig::fast());
+    println!("{label}: {} {size}B MSB = {:.1} Gbps", spec.label(), m.msb_or_zero());
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    print_header("Fig. 10 — L1 size sensitivity");
+    for l1 in [16u64 << 10, 1 << 20] {
+        let cfg = SystemConfig::gem5().with_l1_size(l1);
+        msb_row(&cfg, &format!("L1 {}KiB", l1 >> 10), AppSpec::TestPmd, 128);
+    }
+    let cfg = SystemConfig::gem5().with_l1_size(16 << 10);
+    c.bench_function("fig10_l1_msb", |b| {
+        b.iter(|| find_msb(&cfg, &AppSpec::TestPmd, 128, 1.0, 60.0, 4, RunConfig::fast()))
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    print_header("Fig. 11 — L2 size sensitivity");
+    for l2 in [256u64 << 10, 4 << 20] {
+        let cfg = SystemConfig::gem5().with_l2_size(l2);
+        msb_row(&cfg, &format!("L2 {}KiB", l2 >> 10), AppSpec::TestPmd, 128);
+    }
+    let cfg = SystemConfig::gem5().with_l2_size(256 << 10);
+    c.bench_function("fig11_l2_msb", |b| {
+        b.iter(|| find_msb(&cfg, &AppSpec::TestPmd, 128, 1.0, 60.0, 4, RunConfig::fast()))
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    print_header("Fig. 12 — LLC size sensitivity");
+    for llc in [4u64 << 20, 64 << 20] {
+        let cfg = SystemConfig::gem5().with_llc_size(llc);
+        msb_row(&cfg, &format!("LLC {}MiB", llc >> 20), AppSpec::TestPmd, 128);
+    }
+    let cfg = SystemConfig::gem5().with_llc_size(4 << 20);
+    c.bench_function("fig12_llc_msb", |b| {
+        b.iter(|| find_msb(&cfg, &AppSpec::TestPmd, 128, 1.0, 60.0, 4, RunConfig::fast()))
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    print_header("Fig. 13 — DCA leak (processing-time sweep)");
+    let cfg = SystemConfig::gem5().with_llc_size(1 << 20).with_rx_ring(4096);
+    for proc in [ns(10), us(1), us(5)] {
+        let s = run_point(&cfg, &AppSpec::RxpTx(proc), 256, 20.0, RunConfig::fast());
+        println!(
+            "proc {:>6}ns: drop {:4.1}% LLC miss {:4.1}%",
+            proc / 1_000,
+            s.drop_rate * 100.0,
+            s.llc_miss_rate * 100.0
+        );
+    }
+    c.bench_function("fig13_dca_leak_point", |b| {
+        b.iter(|| run_point(&cfg, &AppSpec::RxpTx(us(1)), 256, 20.0, RunConfig::fast()))
+    });
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    print_header("Fig. 14 — DCA on/off");
+    for dca in [true, false] {
+        let cfg = SystemConfig::gem5().with_dca(dca);
+        msb_row(&cfg, if dca { "DCA on " } else { "DCA off" }, AppSpec::TestPmd, 512);
+    }
+    let cfg = SystemConfig::gem5().with_dca(false);
+    c.bench_function("fig14_dca_off_msb", |b| {
+        b.iter(|| find_msb(&cfg, &AppSpec::TestPmd, 512, 1.0, 60.0, 4, RunConfig::fast()))
+    });
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    print_header("Fig. 15 — core frequency");
+    for ghz in [1.0, 4.0] {
+        let cfg = SystemConfig::gem5().with_frequency(Frequency::ghz(ghz));
+        msb_row(&cfg, &format!("{ghz:.0} GHz"), AppSpec::TestPmd, 128);
+    }
+    let cfg = SystemConfig::gem5().with_frequency(Frequency::ghz(1.0));
+    c.bench_function("fig15_freq_msb", |b| {
+        b.iter(|| find_msb(&cfg, &AppSpec::TestPmd, 128, 1.0, 60.0, 4, RunConfig::fast()))
+    });
+}
+
+fn bench_fig16(c: &mut Criterion) {
+    print_header("Fig. 16 — OoO vs in-order");
+    for kind in [CoreKind::OutOfOrder, CoreKind::InOrder] {
+        let cfg = SystemConfig::gem5().with_core_kind(kind);
+        msb_row(&cfg, &format!("{kind:?}"), AppSpec::TouchFwd, 128);
+    }
+    let cfg = SystemConfig::gem5().with_core_kind(CoreKind::InOrder);
+    c.bench_function("fig16_inorder_msb", |b| {
+        b.iter(|| find_msb(&cfg, &AppSpec::TouchFwd, 128, 0.25, 20.0, 4, RunConfig::fast()))
+    });
+}
+
+fn bench_fig17(c: &mut Criterion) {
+    print_header("Fig. 17 — memory channels & ROB");
+    for ch in [1usize, 8, 16] {
+        let cfg = SystemConfig::gem5().with_dca(false).with_channels(ch);
+        msb_row(&cfg, &format!("{ch} ch, DCA off"), AppSpec::TestPmd, 1518);
+    }
+    for rob in [32usize, 512] {
+        let cfg = SystemConfig::gem5().with_rob(rob);
+        msb_row(&cfg, &format!("ROB {rob}"), AppSpec::TouchFwd, 1518);
+    }
+    let cfg = SystemConfig::gem5().with_dca(false).with_channels(1);
+    c.bench_function("fig17_channels_msb", |b| {
+        b.iter(|| find_msb(&cfg, &AppSpec::TestPmd, 1518, 1.0, 60.0, 4, RunConfig::fast()))
+    });
+}
+
+fn bench_fig18(c: &mut Criterion) {
+    print_header("Fig. 18 — memcached throughput vs drop");
+    let cfg = SystemConfig::gem5();
+    for spec in [AppSpec::MemcachedDpdk, AppSpec::MemcachedKernel] {
+        for krps in [150.0, 900.0] {
+            let s = run_point(&cfg, &spec, 0, krps, RunConfig::long());
+            println!(
+                "{:16} offered {:4.0}k -> achieved {:4.0}k unanswered {:4.1}%",
+                spec.label(),
+                krps,
+                s.achieved_rps() / 1e3,
+                s.report.drop_rate * 100.0
+            );
+        }
+    }
+    c.bench_function("fig18_memcached_point", |b| {
+        b.iter(|| run_point(&cfg, &AppSpec::MemcachedDpdk, 0, 400.0, RunConfig::fast()))
+    });
+}
+
+fn bench_fig19(c: &mut Criterion) {
+    print_header("Fig. 19 — memcached latency vs frequency");
+    for ghz in [1.0, 3.0] {
+        let cfg = SystemConfig::gem5().with_frequency(Frequency::ghz(ghz));
+        let s = run_point(&cfg, &AppSpec::MemcachedDpdk, 0, 400.0, RunConfig::long());
+        println!(
+            "{ghz:.0} GHz @400k: mean latency {:7.1} us, drop {:4.1}%",
+            s.report.latency.mean / 1e6,
+            s.report.drop_rate * 100.0
+        );
+    }
+    let cfg = SystemConfig::gem5().with_frequency(Frequency::ghz(1.0));
+    c.bench_function("fig19_latency_point", |b| {
+        b.iter(|| run_point(&cfg, &AppSpec::MemcachedDpdk, 0, 400.0, RunConfig::fast()))
+    });
+}
+
+fn bench_fig20(c: &mut Criterion) {
+    print_header("Fig. 20 — EtherLoadGen vs dual-mode simulation time");
+    let cfg = SystemConfig::gem5();
+    let rc = RunConfig::fast();
+    let lg = run_point(&cfg, &AppSpec::MemcachedDpdk, 0, 300.0, rc);
+    let dual = simnet_harness::msb::run_dual_point(&cfg, &AppSpec::MemcachedDpdk, 0, 300.0, rc);
+    println!(
+        "loadgen-mode: {} events in {:.3}s | dual-mode: {} events in {:.3}s",
+        lg.events, lg.host_seconds, dual.events, dual.host_seconds
+    );
+    let mut group = c.benchmark_group("fig20_speedup");
+    group.bench_function("loadgen_mode", |b| {
+        b.iter(|| run_point(&cfg, &AppSpec::MemcachedDpdk, 0, 300.0, rc))
+    });
+    group.bench_function("dual_mode", |b| {
+        b.iter(|| simnet_harness::msb::run_dual_point(&cfg, &AppSpec::MemcachedDpdk, 0, 300.0, rc))
+    });
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    print_header("Ablations — writeback threshold / DCA ways / open-vs-closed");
+    let out = experiments::ablations::writeback_threshold(Effort::Quick);
+    out.emit(std::path::Path::new("results/bench"));
+    let mut cfg = SystemConfig::gem5();
+    cfg.nic = cfg.nic.with_wb_threshold(64);
+    c.bench_function("ablation_wb64_point", |b| {
+        b.iter(|| run_point(&cfg, &AppSpec::TestPmd, 256, 30.0, RunConfig::fast()))
+    });
+}
+
+fn bench_tcp(c: &mut Criterion) {
+    print_header("Extension — TCP stream");
+    let out = experiments::tcp_ext::run(Effort::Quick);
+    out.emit(std::path::Path::new("results/bench"));
+    let cfg = SystemConfig::gem5();
+    c.bench_function("tcp_window16_point", |b| {
+        b.iter(|| run_point(&cfg, &AppSpec::IperfTcp, 1518, 16.0, RunConfig::fast()))
+    });
+}
+
+fn bench_headline(c: &mut Criterion) {
+    print_header("Headline — kernel vs userspace bandwidth");
+    let out = experiments::headline::run(Effort::Quick);
+    out.emit(std::path::Path::new("results/bench"));
+    let cfg = SystemConfig::gem5();
+    c.bench_function("headline_iperf_point", |b| {
+        b.iter(|| run_point(&cfg, &AppSpec::Iperf, 1518, 8.0, RunConfig::fast()))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = figures;
+    config = config();
+    targets = bench_table1, bench_fig05, bench_fig06, bench_fig07, bench_fig08,
+              bench_fig09, bench_fig10, bench_fig11, bench_fig12, bench_fig13,
+              bench_fig14, bench_fig15, bench_fig16, bench_fig17, bench_fig18,
+              bench_fig19, bench_fig20, bench_headline, bench_ablations, bench_tcp
+}
+criterion_main!(figures);

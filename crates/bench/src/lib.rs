@@ -1,0 +1,8 @@
+//! Benchmark support crate. The actual benchmarks live in `benches/`:
+//!
+//! * `figures` — one Criterion group per paper table/figure, each running
+//!   the corresponding experiment kernel at reduced scale and printing
+//!   the same rows the paper reports.
+//! * `components` — microbenchmarks of the simulator's hot paths (cache
+//!   lookups, DRAM accesses, event queue, packet building, full node
+//!   simulation throughput).

@@ -1,0 +1,22 @@
+//! Core timing models for `simnet`.
+//!
+//! Software (the DPDK/kernel stacks and the benchmark applications) is
+//! expressed as a stream of [`Op`]s — compute batches, loads, stores —
+//! generated per packet burst. A [`Core`] prices that stream against the
+//! [`simnet_mem::MemorySystem`]:
+//!
+//! * [`CoreKind::InOrder`] serializes every memory access behind the
+//!   pipeline (a simple stall-on-use in-order core).
+//! * [`CoreKind::OutOfOrder`] overlaps independent misses up to the
+//!   window allowed by the reorder buffer, load queue and L1D MSHRs —
+//!   which is exactly what the paper's ROB sweep (Fig. 17d–f) and
+//!   OoO-vs-in-order comparison (Fig. 16) exercise.
+//!
+//! Dependent loads ([`Op::DependentLoad`]) serialize even on the OoO core;
+//! pointer-chasing code (hash-table walks in the KV store) uses them.
+
+pub mod core;
+pub mod ops;
+
+pub use crate::core::{Core, CoreConfig, CoreKind, CoreStats};
+pub use ops::Op;

@@ -1,0 +1,101 @@
+//! The op-stream vocabulary software models are written in.
+
+use simnet_mem::Addr;
+
+/// One unit of work emitted by a software model.
+///
+/// Ops model the *performance-relevant* shape of code, not its semantics:
+/// a burst of arithmetic is one [`Op::Compute`]; each cache-line (or
+/// smaller) touch is one load/store at a concrete simulated address so the
+/// cache hierarchy sees a faithful access stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `n` back-to-back ALU/branch instructions (retire at pipeline width).
+    Compute(u64),
+    /// An independent load of up to 8 bytes; may overlap other loads on an
+    /// out-of-order core.
+    Load(Addr),
+    /// A load on the critical dependence chain (pointer chase); the
+    /// pipeline cannot issue past it until it completes.
+    DependentLoad(Addr),
+    /// A store of up to 8 bytes (retires through the store queue).
+    Store(Addr),
+    /// An instruction-fetch touch: one line of code footprint at this
+    /// address (models i-cache working set).
+    Ifetch(Addr),
+}
+
+impl Op {
+    /// Number of instructions this op represents.
+    pub fn instructions(&self) -> u64 {
+        match self {
+            Op::Compute(n) => *n,
+            Op::Load(_) | Op::DependentLoad(_) | Op::Store(_) => 1,
+            // A fetched line carries several instructions; the compute they
+            // perform is accounted separately by Compute ops.
+            Op::Ifetch(_) => 0,
+        }
+    }
+
+    /// Whether this op references memory data.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, Op::Load(_) | Op::DependentLoad(_) | Op::Store(_))
+    }
+}
+
+/// Convenience: emit loads touching every cache line of `[addr, addr+len)`.
+pub fn loads_over(ops: &mut Vec<Op>, addr: Addr, len: u64) {
+    let lines = simnet_mem::lines_touched(addr, len);
+    let first = addr & !(simnet_mem::CACHE_LINE - 1);
+    for i in 0..lines {
+        ops.push(Op::Load(first + i * simnet_mem::CACHE_LINE));
+    }
+}
+
+/// Convenience: emit stores touching every cache line of `[addr, addr+len)`.
+pub fn stores_over(ops: &mut Vec<Op>, addr: Addr, len: u64) {
+    let lines = simnet_mem::lines_touched(addr, len);
+    let first = addr & !(simnet_mem::CACHE_LINE - 1);
+    for i in 0..lines {
+        ops.push(Op::Store(first + i * simnet_mem::CACHE_LINE));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_accounting() {
+        assert_eq!(Op::Compute(10).instructions(), 10);
+        assert_eq!(Op::Load(0).instructions(), 1);
+        assert_eq!(Op::Store(0).instructions(), 1);
+        assert_eq!(Op::Ifetch(0).instructions(), 0);
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(Op::Load(0).is_memory());
+        assert!(Op::DependentLoad(0).is_memory());
+        assert!(Op::Store(0).is_memory());
+        assert!(!Op::Compute(1).is_memory());
+        assert!(!Op::Ifetch(0).is_memory());
+    }
+
+    #[test]
+    fn loads_over_covers_lines() {
+        let mut ops = Vec::new();
+        loads_over(&mut ops, 60, 8); // straddles a boundary
+        assert_eq!(ops, vec![Op::Load(0), Op::Load(64)]);
+        ops.clear();
+        loads_over(&mut ops, 0, 1518);
+        assert_eq!(ops.len(), 24);
+    }
+
+    #[test]
+    fn stores_over_covers_lines() {
+        let mut ops = Vec::new();
+        stores_over(&mut ops, 128, 64);
+        assert_eq!(ops, vec![Op::Store(128)]);
+    }
+}

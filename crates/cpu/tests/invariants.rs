@@ -1,0 +1,101 @@
+//! Property-based invariants of the core timing models.
+
+use proptest::prelude::*;
+use simnet_cpu::{Core, CoreConfig, Op};
+use simnet_mem::{MemoryConfig, MemorySystem};
+use simnet_sim::tick::Frequency;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..200).prop_map(Op::Compute),
+        (0u64..1 << 22).prop_map(|o| Op::Load(0x4000_0000 + (o & !7))),
+        (0u64..1 << 22).prop_map(|o| Op::DependentLoad(0x5000_0000 + (o & !7))),
+        (0u64..1 << 22).prop_map(|o| Op::Store(0x6000_0000 + (o & !7))),
+        (0u64..1 << 20).prop_map(|o| Op::Ifetch(0x7000_0000 + (o & !63))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// Time always advances by at least the pure-compute lower bound and
+    /// execution never goes backwards.
+    #[test]
+    fn execution_time_bounds(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut mem = MemorySystem::new(MemoryConfig::table1_gem5());
+        let mut core = Core::new(CoreConfig::table1_ooo());
+        let start = 1_000_000;
+        let end = core.execute(start, &ops, &mut mem);
+        prop_assert!(end >= start);
+        let instructions: u64 = ops.iter().map(Op::instructions).sum();
+        let cfg = *core.config();
+        let min_ticks = cfg
+            .frequency
+            .cycles_f64_to_ticks(instructions as f64 / cfg.width as f64);
+        // Allow rounding slop of one cycle per op.
+        prop_assert!(
+            end - start + 400 * ops.len() as u64 >= min_ticks,
+            "faster than the width bound: {} < {min_ticks}",
+            end - start
+        );
+    }
+
+    /// The out-of-order core is never slower than the in-order core on
+    /// the same op stream against identical memory images.
+    #[test]
+    fn ooo_never_loses_to_in_order(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let mut mem_a = MemorySystem::new(MemoryConfig::table1_gem5());
+        let mut ooo = Core::new(CoreConfig::table1_ooo());
+        let t_ooo = ooo.execute(0, &ops, &mut mem_a);
+
+        let mut mem_b = MemorySystem::new(MemoryConfig::table1_gem5());
+        let mut ino = Core::new(CoreConfig::in_order());
+        let t_ino = ino.execute(0, &ops, &mut mem_b);
+
+        // Tolerance: the in-order core is 2-wide, the OoO core 4-wide;
+        // for tiny streams rounding can tie them.
+        prop_assert!(
+            t_ooo <= t_ino + 1_000,
+            "OoO ({t_ooo}) slower than in-order ({t_ino})"
+        );
+    }
+
+    /// Doubling the clock never slows a compute-only stream, and scales
+    /// it by exactly 2x when memory is untouched.
+    #[test]
+    fn frequency_scaling_is_exact_for_compute(n in 1u64..10_000) {
+        let ops = [Op::Compute(n)];
+        let mut mem = MemorySystem::new(MemoryConfig::table1_gem5());
+        let mut slow = Core::new(CoreConfig::table1_ooo().with_frequency(Frequency::ghz(1.5)));
+        let mut fast = Core::new(CoreConfig::table1_ooo().with_frequency(Frequency::ghz(3.0)));
+        let t_slow = slow.execute(0, &ops, &mut mem);
+        let t_fast = fast.execute(0, &ops, &mut mem);
+        prop_assert!((t_slow as i64 - 2 * t_fast as i64).abs() <= 2,
+            "2x clock must halve compute: {t_slow} vs {t_fast}");
+    }
+
+    /// Bigger ROBs never hurt.
+    #[test]
+    fn rob_growth_is_monotone_beneficial(
+        ops in prop::collection::vec(op_strategy(), 20..120),
+    ) {
+        let run = |rob: usize| {
+            let mut mem = MemorySystem::new(MemoryConfig::table1_gem5());
+            let mut core = Core::new(CoreConfig::table1_ooo().with_rob(rob));
+            core.execute(0, &ops, &mut mem)
+        };
+        let small = run(16);
+        let large = run(512);
+        prop_assert!(large <= small + 1_000, "ROB 512 ({large}) worse than 16 ({small})");
+    }
+
+    /// Instruction accounting matches the op stream exactly.
+    #[test]
+    fn instruction_accounting(ops in prop::collection::vec(op_strategy(), 1..100)) {
+        let mut mem = MemorySystem::new(MemoryConfig::table1_gem5());
+        let mut core = Core::new(CoreConfig::table1_ooo());
+        core.execute(0, &ops, &mut mem);
+        let expected: u64 = ops.iter().map(Op::instructions).sum();
+        prop_assert_eq!(core.stats().instructions.value(), expected);
+    }
+}

@@ -1,0 +1,13 @@
+use simnet_harness::{run_point, AppSpec, RunConfig, SystemConfig};
+fn main() {
+    let cfg = SystemConfig::gem5();
+    for spec in [AppSpec::MemcachedDpdk, AppSpec::MemcachedKernel] {
+        for krps in [200.0, 400.0, 700.0, 1000.0, 1500.0, 2500.0] {
+            let s = run_point(&cfg, &spec, 0, krps, RunConfig::long());
+            println!(
+                "{:?} offered {krps} kRPS -> achieved {:.0} kRPS drop {:.3} rtt_mean {:.1}us",
+                spec, s.achieved_rps() / 1e3, s.drop_rate, s.report.latency.mean / 1e6
+            );
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Diagnostic probe: one run with internal utilization printout.
+
+use simnet_harness::{run_point, AppSpec, RunConfig, SystemConfig};
+use simnet_harness::sim::Simulation;
+use simnet_harness::summary::{run_phases, Phases};
+use simnet_sim::tick::us;
+
+fn main() {
+    let cfg = SystemConfig::gem5();
+    let args: Vec<String> = std::env::args().collect();
+    let size: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1518);
+    let offered: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(90.0);
+
+    let spec = AppSpec::TestPmd;
+    let (stack, app) = spec.instantiate(cfg.seed);
+    let loadgen = spec.loadgen(&cfg, size, offered);
+    let mut sim = Simulation::loadgen_mode(&cfg, stack, app, loadgen);
+    let summary = run_phases(
+        &mut sim,
+        Phases {
+            warmup: us(300),
+            measure: us(1000),
+        },
+    );
+    let node = &sim.nodes[0];
+    let end = sim.now();
+    println!("offered={offered} size={size}");
+    println!("summary: {}", summary.report);
+    println!("fsm drops: {:?} rate {:.3}", summary.drop_counts, summary.drop_rate);
+    println!(
+        "io-rx util {:.2} busy {} | io-tx util {:.2}",
+        node.mem.io_rx_bus().utilization(end),
+        node.mem.io_rx_bus().busy_ticks.value(),
+        node.mem.io_tx_bus().utilization(end)
+    );
+    println!(
+        "io-rx txns {} bytes {} | io-tx txns {} bytes {}",
+        node.mem.io_rx_bus().transactions.value(),
+        node.mem.io_rx_bus().bytes.value(),
+        node.mem.io_tx_bus().transactions.value(),
+        node.mem.io_tx_bus().bytes.value()
+    );
+    println!(
+        "nic rx_frames {} tx_frames {} desc_wb {} refills {}",
+        node.nic.stats().rx_frames.value(),
+        node.nic.stats().tx_frames.value(),
+        node.nic.stats().desc_writebacks.value(),
+        node.nic.stats().desc_refills.value()
+    );
+    println!(
+        "rx ring: avail+cache {} visible {}",
+        node.nic.rx_descriptors_available(),
+        node.nic.rx_visible_len()
+    );
+    println!(
+        "rx idle: fifo-empty {} no-desc {}",
+        node.nic.stats().rx_idle_fifo_empty.value(),
+        node.nic.stats().rx_idle_no_desc.value()
+    );
+    println!(
+        "llc miss(core) {:.3} dram row-hit {:.3} reads {} writes {}",
+        summary.llc_miss_rate,
+        summary.row_hit_rate,
+        node.mem.dram_stats().reads.value(),
+        node.mem.dram_stats().writes.value()
+    );
+    let s2 = run_point(&cfg, &spec, size, offered, RunConfig::fast());
+    println!("repeat achieved {:.2} Gbps", s2.achieved_gbps());
+}

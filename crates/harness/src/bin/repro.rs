@@ -1,0 +1,107 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--quick] [--out DIR] [all|table1|fig5|fig6|fig7|fig8|fig9|fig10|
+//!                              fig11|fig12|fig13|fig14|fig15|fig16|fig17|
+//!                              fig18|fig19|fig20|headline]
+//! ```
+//!
+//! Results print as tables and are written as CSVs under `--out`
+//! (default `results/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simnet_harness::experiments::{self, Effort, ExperimentOutput};
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "headline",
+    "ablation-wb", "ablation-dca-ways", "ablation-open-closed", "ablation-hugepages",
+    "ablation-itr", "tcp", "latency-hist",
+];
+
+fn run_one(name: &str, effort: Effort) -> Option<ExperimentOutput> {
+    let out = match name {
+        "table1" => experiments::table1::run(),
+        "fig5" => experiments::fig05::run(effort),
+        "fig6" => experiments::curves::fig06(effort),
+        "fig7" => experiments::curves::fig07(effort),
+        "fig8" => experiments::curves::fig08(effort),
+        "fig9" => experiments::curves::fig09(effort),
+        "fig10" => experiments::cache::fig10(effort),
+        "fig11" => experiments::cache::fig11(effort),
+        "fig12" => experiments::cache::fig12(effort),
+        "fig13" => experiments::dca::fig13(effort),
+        "fig14" => experiments::dca::fig14(effort),
+        "fig15" => experiments::core_sens::fig15(effort),
+        "fig16" => experiments::core_sens::fig16(effort),
+        "fig17" => experiments::core_sens::fig17(effort),
+        "fig18" => experiments::memcached::fig18(effort),
+        "fig19" => experiments::memcached::fig19(effort),
+        "fig20" => experiments::speedup::run(effort),
+        "headline" => experiments::headline::run(effort),
+        "ablation-wb" => experiments::ablations::writeback_threshold(effort),
+        "ablation-dca-ways" => experiments::ablations::dca_ways(effort),
+        "ablation-open-closed" => experiments::ablations::open_vs_closed(effort),
+        "ablation-hugepages" => experiments::ablations::hugepages(effort),
+        "ablation-itr" => experiments::ablations::interrupt_coalescing(effort),
+        "tcp" => experiments::tcp_ext::run(effort),
+        "latency-hist" => experiments::latency_hist::run(effort),
+        _ => return None,
+    };
+    Some(out)
+}
+
+fn main() -> ExitCode {
+    let mut effort = Effort::Full;
+    let mut out_dir = PathBuf::from("results");
+    let mut targets: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => effort = Effort::Quick,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--quick] [--out DIR] [all|{}]",
+                    EXPERIMENTS.join("|")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() || targets.iter().any(|t| t == "all") {
+        targets = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    for target in &targets {
+        let started = std::time::Instant::now();
+        println!("\n########## {target} ##########");
+        match run_one(target, effort) {
+            Some(output) => {
+                output.emit(&out_dir);
+                println!(
+                    "[{target} done in {:.1}s]",
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment {target:?}; known: {}",
+                    EXPERIMENTS.join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

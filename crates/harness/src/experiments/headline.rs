@@ -1,0 +1,74 @@
+//! The headline claim: "enabling userspace networking improves gem5's
+//! network bandwidth by 6.3× compared with the current Linux kernel
+//! software stack" (§Abstract/§I), with the kernel stack itself at
+//! ~10 Gbps (§II.B).
+
+use crate::config::SystemConfig;
+use crate::msb::{find_msb, AppSpec, RunConfig};
+use crate::table::{fmt_f64, Table};
+
+use super::{Effort, ExperimentOutput};
+
+/// Measures the kernel (iperf) and userspace (TestPMD) bandwidth ceilings
+/// at 1518B and reports the ratio.
+pub fn run(effort: Effort) -> ExperimentOutput {
+    let cfg = SystemConfig::gem5();
+    let kernel = find_msb(
+        &cfg,
+        &AppSpec::Iperf,
+        1518,
+        0.5,
+        40.0,
+        effort.ramp_steps(),
+        RunConfig::long(),
+    )
+    .msb_or_zero();
+    let dpdk = find_msb(
+        &cfg,
+        &AppSpec::TestPmd,
+        1518,
+        1.0,
+        90.0,
+        effort.ramp_steps(),
+        RunConfig::fast(),
+    )
+    .msb_or_zero();
+    let ratio = if kernel > 0.0 { dpdk / kernel } else { 0.0 };
+
+    let mut t = Table::new(
+        "Headline — kernel vs userspace bandwidth ceiling (1518B)",
+        &["stack", "app", "MSB(Gbps)"],
+    );
+    t.row(vec!["kernel".into(), "iperf".into(), fmt_f64(kernel)]);
+    t.row(vec!["userspace".into(), "TestPMD".into(), fmt_f64(dpdk)]);
+    t.row(vec!["ratio".into(), "DPDK/kernel".into(), fmt_f64(ratio)]);
+
+    let mut out = ExperimentOutput::default();
+    out.note(format!(
+        "Paper: kernel ~10 Gbps, DPDK >50 Gbps, improvement 6.3x. \
+         Measured ratio: {ratio:.1}x."
+    ));
+    out.table("headline_6x", t);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn userspace_beats_kernel_by_paper_scale_factor() {
+        let out = run(Effort::Quick);
+        let csv = out.tables[0].1.to_csv();
+        let ratio: f64 = csv
+            .lines()
+            .last()
+            .and_then(|l| l.split(',').next_back())
+            .and_then(|v| v.parse().ok())
+            .expect("ratio row");
+        assert!(
+            (3.0..12.0).contains(&ratio),
+            "DPDK/kernel ratio should be paper-scale (6.3x): {ratio}"
+        );
+    }
+}

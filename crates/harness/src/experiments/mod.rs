@@ -1,0 +1,173 @@
+//! The paper's evaluation, experiment by experiment.
+//!
+//! Each module reproduces one table or figure of §VI/§VII and returns
+//! [`crate::table::Table`]s whose rows are the series the paper plots. The
+//! `repro` binary runs them and writes CSVs under `results/`.
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`table1`] | Table I (system configurations) |
+//! | [`fig05`] | Fig. 5 (drop-cause breakdown at the knee) |
+//! | [`curves`] | Figs. 6–9 (bandwidth vs drop rate, gem5 vs altra) |
+//! | [`cache`] | Figs. 10–12 (L1/L2/LLC size sensitivity) |
+//! | [`dca`] | Figs. 13–14 (DCA leak sweep; DCA on/off) |
+//! | [`core_sens`] | Figs. 15–17 (frequency, core kind, channels, ROB) |
+//! | [`memcached`] | Figs. 18–19 (RPS vs drops; latency vs frequency) |
+//! | [`speedup`] | Fig. 20 (EtherLoadGen vs dual-mode simulation time) |
+//! | [`headline`] | §I/§II's 6.3× kernel→DPDK bandwidth claim |
+//! | [`ablations`] | Design-choice ablations (writeback threshold, DCA ways, open/closed clients) |
+//! | [`tcp_ext`] | Extension: the TCP state machine in `EtherLoadGen` (paper future work) |
+
+pub mod ablations;
+pub mod cache;
+pub mod core_sens;
+pub mod curves;
+pub mod dca;
+pub mod fig05;
+pub mod headline;
+pub mod latency_hist;
+pub mod memcached;
+pub mod speedup;
+pub mod table1;
+pub mod tcp_ext;
+
+use crate::table::Table;
+
+/// How thorough an experiment run is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Reduced sweeps: fewer sizes/points, for CI and benches.
+    Quick,
+    /// The full sweeps matching the paper's figures.
+    Full,
+}
+
+impl Effort {
+    /// Packet sizes for MSB bar charts (Figs. 10–12, 14, 15).
+    pub fn bar_sizes(&self) -> &'static [usize] {
+        match self {
+            Effort::Quick => &[128, 1518],
+            Effort::Full => &[128, 256, 512, 1024, 1518],
+        }
+    }
+
+    /// Packet sizes for bandwidth/drop curves (Figs. 6–9).
+    pub fn curve_sizes(&self) -> &'static [usize] {
+        match self {
+            Effort::Quick => &[64, 256, 1518],
+            Effort::Full => &[64, 128, 256, 512, 1024, 1518],
+        }
+    }
+
+    /// Offered-load points per ramp.
+    pub fn ramp_steps(&self) -> usize {
+        match self {
+            Effort::Quick => 5,
+            Effort::Full => 9,
+        }
+    }
+}
+
+/// Runs `f` over `items` on a thread pool, preserving order.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: crossbeam::queue::SegQueue<(usize, T)> = crossbeam::queue::SegQueue::new();
+    let n = items.len();
+    for pair in items.into_iter().enumerate() {
+        queue.push(pair);
+    }
+    let results: crossbeam::queue::SegQueue<(usize, R)> = crossbeam::queue::SegQueue::new();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                while let Some((idx, item)) = queue.pop() {
+                    results.push((idx, f(item)));
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    while let Some((idx, r)) = results.pop() {
+        out[idx] = Some(r);
+    }
+    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+/// An experiment's output: named tables plus free-form notes comparing
+/// against the paper.
+#[derive(Debug, Default)]
+pub struct ExperimentOutput {
+    /// Result tables (one per sub-figure/series group).
+    pub tables: Vec<(String, Table)>,
+    /// Comparison notes against the paper's reported values.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentOutput {
+    /// Adds a table under a CSV-friendly name.
+    pub fn table(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.push((name.into(), table));
+    }
+
+    /// Adds a paper-comparison note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Prints everything and writes CSVs under `dir`.
+    pub fn emit(&self, dir: &std::path::Path) {
+        for (name, table) in &self.tables {
+            println!("{}", table.render());
+            if let Err(e) = table.write_csv(dir, name) {
+                eprintln!("warning: could not write {name}.csv: {e}");
+            }
+        }
+        for note in &self.notes {
+            println!("note: {note}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map((0..100).collect::<Vec<_>>(), |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert_eq!(par_map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(par_map(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn effort_levels_differ() {
+        assert!(Effort::Full.bar_sizes().len() > Effort::Quick.bar_sizes().len());
+        assert!(Effort::Full.ramp_steps() > Effort::Quick.ramp_steps());
+    }
+
+    #[test]
+    fn experiment_output_collects() {
+        let mut out = ExperimentOutput::default();
+        out.table("t", Table::new("T", &["a"]));
+        out.note("hello");
+        assert_eq!(out.tables.len(), 1);
+        assert_eq!(out.notes.len(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Fig. 20: simulation-time speedup of `EtherLoadGen` over dual-mode.
+//!
+//! "We evaluate the performance benefit of using our hardware
+//! EtherLoadGen model ... compared with using gem5 in dual mode and
+//! running a software load generator" — the same memcached service is
+//! simulated both ways and the *host* wall-clock times are compared.
+
+use simnet_cpu::CoreKind;
+use simnet_sim::tick::Frequency;
+
+use crate::config::SystemConfig;
+use crate::msb::{run_dual_point, run_point, AppSpec, RunConfig};
+use crate::table::{fmt_f64, fmt_pct, Table};
+
+use super::{Effort, ExperimentOutput};
+
+/// Runs the comparison.
+pub fn run(effort: Effort) -> ExperimentOutput {
+    let freqs: &[f64] = match effort {
+        Effort::Full => &[1.0, 2.0, 3.0, 4.0],
+        Effort::Quick => &[3.0],
+    };
+    let kinds = [CoreKind::InOrder, CoreKind::OutOfOrder];
+
+    let mut t = Table::new(
+        "Fig. 20 — simulation-time speedup: EtherLoadGen vs dual-mode",
+        &[
+            "app",
+            "core",
+            "freq(GHz)",
+            "loadgen(s)",
+            "dual(s)",
+            "speedup",
+            "loadgen events",
+            "dual events",
+        ],
+    );
+
+    // Wall-clock comparisons must run sequentially (parallel runs would
+    // contend for cores and distort times).
+    for spec in [AppSpec::MemcachedKernel, AppSpec::MemcachedDpdk] {
+        let rate = if spec == AppSpec::MemcachedKernel { 150.0 } else { 500.0 };
+        for kind in kinds {
+            for &ghz in freqs {
+                let cfg = SystemConfig::gem5()
+                    .with_core_kind(kind)
+                    .with_frequency(Frequency::ghz(ghz));
+                let rc = RunConfig::long();
+                let lg = run_point(&cfg, &spec, 0, rate, rc);
+                let dual = run_dual_point(&cfg, &spec, 0, rate, rc);
+                let speedup = if lg.host_seconds > 0.0 {
+                    dual.host_seconds / lg.host_seconds - 1.0
+                } else {
+                    0.0
+                };
+                t.row(vec![
+                    spec.label(),
+                    match kind {
+                        CoreKind::InOrder => "InOrder".into(),
+                        CoreKind::OutOfOrder => "OoO".into(),
+                    },
+                    format!("{ghz:.0}"),
+                    fmt_f64(lg.host_seconds),
+                    fmt_f64(dual.host_seconds),
+                    fmt_pct(speedup),
+                    lg.events.to_string(),
+                    dual.events.to_string(),
+                ]);
+            }
+        }
+    }
+
+    let mut out = ExperimentOutput::default();
+    out.note(
+        "Paper: EtherLoadGen is up to ~40% (kernel) and ~70% (DPDK) faster \
+         than dual-mode simulation. The dual-mode run simulates a second \
+         full node (NIC, memory hierarchy, core, stack), roughly doubling \
+         the event count.",
+    );
+    out.table("fig20_sim_speedup", t);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_mode_simulates_more_events_than_loadgen_mode() {
+        let cfg = SystemConfig::gem5();
+        let rc = RunConfig::fast();
+        let lg = run_point(&cfg, &AppSpec::MemcachedDpdk, 0, 200.0, rc);
+        let dual = run_dual_point(&cfg, &AppSpec::MemcachedDpdk, 0, 200.0, rc);
+        assert!(
+            dual.events > lg.events,
+            "dual {} should exceed loadgen {}",
+            dual.events,
+            lg.events
+        );
+        // The dual-mode server still answers requests.
+        assert!(dual.report.rx_packets > 0, "dual-mode traffic flows");
+    }
+}

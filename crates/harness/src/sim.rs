@@ -1,0 +1,439 @@
+//! The event-driven node simulation.
+//!
+//! A [`Simulation`] holds one node under test (NIC, memory system, core,
+//! software stack, application) and a traffic source: either the hardware
+//! [`EtherLoadGen`] (Fig. 1b) or a second, fully simulated Drive Node
+//! running a software load-generator application (dual-mode, Fig. 1a).
+//!
+//! Booting a node follows Listing 2: bind `uio_pci_generic` through the
+//! PCI registry, then initialize the DPDK EAL (vendor-check skip and PMD
+//! launch) — or, for the kernel stack, leave interrupts enabled.
+
+use simnet_cpu::Core;
+use simnet_loadgen::EtherLoadGen;
+use simnet_mem::MemorySystem;
+use simnet_net::pcap::PcapWriter;
+use simnet_net::Packet;
+use simnet_nic::{EtherLink, Nic};
+use simnet_pci::devbind::DevBind;
+use simnet_sim::{EventQueue, Priority, Tick};
+use simnet_stack::dpdk::{Eal, EalConfig};
+use simnet_stack::{NetworkStack, PacketApp};
+
+use crate::config::SystemConfig;
+
+/// Simulation events.
+#[derive(Debug)]
+enum Ev {
+    /// The load generator's next departure.
+    LoadGenTx,
+    /// A frame arrives at a node's NIC.
+    NicRx { node: usize, packet: Packet },
+    /// An echo arrives back at the load generator.
+    LoadGenRx { packet: Packet },
+    /// RX DMA engine pipeline advance.
+    RxDma { node: usize },
+    /// TX DMA engine pipeline advance.
+    TxDma { node: usize },
+    /// TX FIFO → wire drain.
+    TxWire { node: usize },
+    /// One software stack iteration.
+    Software { node: usize },
+}
+
+/// One simulated machine.
+pub struct Node {
+    /// The NIC under this node.
+    pub nic: Nic,
+    /// The node's memory system.
+    pub mem: MemorySystem,
+    /// The node's core.
+    pub core: Core,
+    /// The software network stack.
+    pub stack: Box<dyn NetworkStack>,
+    /// The application.
+    pub app: Box<dyn PacketApp>,
+    /// Link from this node toward its peer (NIC TX side).
+    out_link: EtherLink,
+    sw_scheduled: bool,
+    sw_waiting: bool,
+    rx_dma_scheduled: bool,
+    tx_dma_scheduled: bool,
+    tx_wire_scheduled: bool,
+}
+
+impl Node {
+    fn new(
+        cfg: &SystemConfig,
+        stack: Box<dyn NetworkStack>,
+        app: Box<dyn PacketApp>,
+    ) -> Self {
+        let mut nic = Nic::new(cfg.nic);
+        let mut mem = MemorySystem::new(cfg.mem);
+        mem.set_core_frequency(cfg.core.frequency);
+        let core = Core::new(cfg.core);
+
+        // Boot sequence (Listing 2): register the NIC on the PCI bus,
+        // bind the userspace I/O driver, and bring up the stack.
+        let bdf = "00:02.0".parse().expect("static BDF");
+        let mut registry = DevBind::new();
+        registry.register(bdf, nic.pci_config().clone());
+        registry
+            .bind_uio(bdf)
+            .expect("extended PCI model supports uio_pci_generic");
+        if stack.name() == "dpdk" {
+            let mut eal = Eal::new(EalConfig::paper_default());
+            eal.init(&mut nic).expect("patched DPDK initializes on the extended NIC model");
+        }
+        // The driver posts the full RX ring.
+        let ring = cfg.nic.rx_ring_size;
+        nic.rx_ring_post(ring);
+
+        Self {
+            nic,
+            mem,
+            core,
+            stack,
+            app,
+            out_link: EtherLink::new(cfg.link_bandwidth, cfg.link_latency),
+            sw_scheduled: false,
+            sw_waiting: false,
+            rx_dma_scheduled: false,
+            tx_dma_scheduled: false,
+            tx_wire_scheduled: false,
+        }
+    }
+}
+
+/// The full simulation.
+pub struct Simulation {
+    queue: EventQueue<Ev>,
+    /// Node 0 is always the node under test; node 1 (if present) is the
+    /// Drive Node of a dual-mode run.
+    pub nodes: Vec<Node>,
+    /// The hardware load generator (absent in dual-mode).
+    pub loadgen: Option<EtherLoadGen>,
+    gen_link: Option<EtherLink>,
+    loadgen_tx_scheduled: bool,
+    /// Optional pdump-style capture tap at the test node's port (both
+    /// directions), producing a PCAP byte stream.
+    capture: Option<PcapWriter<Vec<u8>>>,
+    started: bool,
+}
+
+impl Simulation {
+    /// Builds a load-generator-mode simulation (Fig. 1b): `EtherLoadGen`
+    /// wired straight to the test node's NIC port.
+    pub fn loadgen_mode(
+        cfg: &SystemConfig,
+        stack: Box<dyn NetworkStack>,
+        app: Box<dyn PacketApp>,
+        loadgen: EtherLoadGen,
+    ) -> Self {
+        Self {
+            queue: EventQueue::new(),
+            nodes: vec![Node::new(cfg, stack, app)],
+            loadgen: Some(loadgen),
+            gen_link: Some(EtherLink::new(cfg.link_bandwidth, cfg.link_latency)),
+            loadgen_tx_scheduled: false,
+            capture: None,
+            started: false,
+        }
+    }
+
+    /// Builds a dual-mode simulation (Fig. 1a): a Drive Node running a
+    /// software load-generator application, linked to the test node.
+    pub fn dual_mode(
+        test_cfg: &SystemConfig,
+        test_stack: Box<dyn NetworkStack>,
+        test_app: Box<dyn PacketApp>,
+        drive_cfg: &SystemConfig,
+        drive_stack: Box<dyn NetworkStack>,
+        drive_app: Box<dyn PacketApp>,
+    ) -> Self {
+        Self {
+            queue: EventQueue::new(),
+            nodes: vec![
+                Node::new(test_cfg, test_stack, test_app),
+                Node::new(drive_cfg, drive_stack, drive_app),
+            ],
+            loadgen: None,
+            gen_link: None,
+            loadgen_tx_scheduled: false,
+            capture: None,
+            started: false,
+        }
+    }
+
+    /// Attaches a pdump-style PCAP capture tap at the test node's port.
+    pub fn enable_capture(&mut self) {
+        self.capture = Some(PcapWriter::new(Vec::new()).expect("vec write cannot fail"));
+    }
+
+    /// Detaches the capture tap and returns the PCAP bytes.
+    pub fn take_capture(&mut self) -> Option<Vec<u8>> {
+        self.capture.take().and_then(|w| w.into_inner().ok())
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Tick {
+        self.queue.now()
+    }
+
+    /// Total events executed (simulation effort metric, Fig. 20).
+    pub fn events_executed(&self) -> u64 {
+        self.queue.executed_count()
+    }
+
+    fn tap(capture: &mut Option<PcapWriter<Vec<u8>>>, now: Tick, packet: &Packet) {
+        if let Some(writer) = capture {
+            let _ = writer.write_packet(now, packet.bytes());
+        }
+    }
+
+    fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for node in 0..self.nodes.len() {
+            self.queue
+                .schedule_with_priority(0, Priority::CPU, Ev::Software { node });
+            self.nodes[node].sw_scheduled = true;
+        }
+        if let Some(lg) = &self.loadgen {
+            if let Some(t) = lg.next_departure(0) {
+                self.queue.schedule(t, Ev::LoadGenTx);
+                self.loadgen_tx_scheduled = true;
+            }
+        }
+    }
+
+    /// Runs the simulation until simulated tick `until`.
+    pub fn run_until(&mut self, until: Tick) {
+        self.start();
+        while let Some(event) = self.queue.pop_until(until) {
+            let now = event.tick;
+            match event.payload {
+                Ev::LoadGenTx => self.handle_loadgen_tx(now),
+                Ev::NicRx { node, packet } => self.handle_nic_rx(now, node, packet),
+                Ev::LoadGenRx { packet } => self.handle_loadgen_rx(now, packet),
+                Ev::RxDma { node } => self.handle_rx_dma(now, node),
+                Ev::TxDma { node } => self.handle_tx_dma(now, node),
+                Ev::TxWire { node } => self.handle_tx_wire(now, node),
+                Ev::Software { node } => self.handle_software(now, node),
+            }
+        }
+    }
+
+    /// Resets all statistics (end of warm-up).
+    pub fn reset_stats(&mut self) {
+        for node in &mut self.nodes {
+            node.nic.reset_stats();
+            node.mem.reset_stats();
+            node.core.reset_stats();
+            node.out_link.reset_stats();
+        }
+        if let Some(lg) = &mut self.loadgen {
+            lg.reset_stats();
+        }
+        if let Some(link) = &mut self.gen_link {
+            link.reset_stats();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn handle_loadgen_tx(&mut self, now: Tick) {
+        self.loadgen_tx_scheduled = false;
+        let Some(lg) = &mut self.loadgen else { return };
+        let Some(packet) = lg.take_packet(now) else {
+            return;
+        };
+        Self::tap(&mut self.capture, now, &packet);
+        let link = self.gen_link.as_mut().expect("loadgen mode has a link");
+        let arrival = link.transmit(now, packet.len());
+        self.queue
+            .schedule_with_priority(arrival, Priority::LINK, Ev::NicRx { node: 0, packet });
+        if let Some(next) = lg.next_departure(now) {
+            self.queue.schedule(next.max(now), Ev::LoadGenTx);
+            self.loadgen_tx_scheduled = true;
+        }
+    }
+
+    fn handle_nic_rx(&mut self, now: Tick, node: usize, packet: Packet) {
+        let _ = self.nodes[node].nic.wire_rx(now, packet);
+        self.maybe_kick_rx_dma(now, node);
+    }
+
+    fn handle_loadgen_rx(&mut self, now: Tick, packet: Packet) {
+        Self::tap(&mut self.capture, now, &packet);
+        let Some(lg) = &mut self.loadgen else { return };
+        lg.on_rx(now, &packet);
+        // A response can open a closed-loop window (or TCP's send window)
+        // *earlier* than any already-scheduled departure (e.g. a pending
+        // RTO), so an unblocked generator always gets a fresh event; a
+        // spurious extra firing is harmless (take_packet returns None).
+        if !self.loadgen_tx_scheduled || lg.unblocked() {
+            if let Some(next) = lg.next_departure(now) {
+                self.queue.schedule(next.max(now), Ev::LoadGenTx);
+                self.loadgen_tx_scheduled = true;
+            }
+        }
+    }
+
+    fn maybe_kick_rx_dma(&mut self, now: Tick, node: usize) {
+        // Evaluate unconditionally: `rx_dma_needs_kick` also settles
+        // time-deferred descriptor posts, which the drop-classification
+        // FSM must observe at packet-arrival granularity.
+        let needs = self.nodes[node].nic.rx_dma_needs_kick(now);
+        if !self.nodes[node].rx_dma_scheduled && needs {
+            self.nodes[node].rx_dma_scheduled = true;
+            self.queue
+                .schedule_with_priority(now, Priority::DMA, Ev::RxDma { node });
+        }
+    }
+
+    fn maybe_kick_tx_dma(&mut self, at: Tick, node: usize) {
+        if !self.nodes[node].tx_dma_scheduled && self.nodes[node].nic.tx_dma_needs_kick() {
+            self.nodes[node].tx_dma_scheduled = true;
+            self.queue
+                .schedule_with_priority(at.max(self.queue.now()), Priority::DMA, Ev::TxDma { node });
+        }
+    }
+
+    fn handle_rx_dma(&mut self, now: Tick, node: usize) {
+        self.nodes[node].rx_dma_scheduled = false;
+        let n = &mut self.nodes[node];
+        let next_dbg = n.nic.rx_dma_advance(now, &mut n.mem);
+        if std::env::var_os("SIMNET_TRACE_RXDMA").is_some() {
+            let (brx, btx) = n.mem.io_busy_horizons();
+            eprintln!("rxdma t={now} next={next_dbg:?} busyrx={brx} busytx={btx}");
+        }
+        if let Some(next) = next_dbg {
+            n.rx_dma_scheduled = true;
+            self.queue
+                .schedule_with_priority(next.max(now), Priority::DMA, Ev::RxDma { node });
+        }
+        self.wake_software_for_rx(now, node);
+    }
+
+    /// If the software loop went to sleep, wake it when packets become
+    /// visible (paying the stack's interrupt/wakeup latency).
+    fn wake_software_for_rx(&mut self, now: Tick, node: usize) {
+        let n = &mut self.nodes[node];
+        if !n.sw_waiting || n.sw_scheduled {
+            return;
+        }
+        if let Some(visible) = n.nic.rx_next_visible_at() {
+            let at = visible.max(now) + n.stack.wakeup_latency();
+            n.sw_waiting = false;
+            n.sw_scheduled = true;
+            self.queue
+                .schedule_with_priority(at, Priority::CPU, Ev::Software { node });
+        }
+    }
+
+    fn handle_software(&mut self, now: Tick, node: usize) {
+        self.nodes[node].sw_scheduled = false;
+        let n = &mut self.nodes[node];
+        let iteration = n
+            .stack
+            .iteration(now, &mut n.nic, &mut n.core, &mut n.mem, n.app.as_mut());
+        let end = iteration.end.max(now);
+
+        // TX submissions and RX ring posts happened inside the iteration.
+        self.maybe_kick_tx_dma(end, node);
+        self.maybe_kick_rx_dma(end, node);
+
+        let n = &mut self.nodes[node];
+        if !iteration.idle {
+            n.sw_scheduled = true;
+            self.queue
+                .schedule_with_priority(end, Priority::CPU, Ev::Software { node });
+            return;
+        }
+
+        // Idle: sleep until the NIC makes something visible or the client
+        // app wants to transmit.
+        let mut wake: Option<Tick> = None;
+        if let Some(visible) = n.nic.rx_next_visible_at() {
+            wake = Some(visible.max(end) + n.stack.wakeup_latency());
+        }
+        if let Some(tx_at) = n.app.next_tx_at(end) {
+            let candidate = tx_at.max(end);
+            wake = Some(wake.map_or(candidate, |w| w.min(candidate)));
+        }
+        match wake {
+            Some(at) => {
+                n.sw_scheduled = true;
+                self.queue
+                    .schedule_with_priority(at.max(end), Priority::CPU, Ev::Software { node });
+            }
+            None => n.sw_waiting = true,
+        }
+    }
+
+    fn handle_tx_dma(&mut self, now: Tick, node: usize) {
+        self.nodes[node].tx_dma_scheduled = false;
+        let n = &mut self.nodes[node];
+        if let Some(next) = n.nic.tx_dma_advance(now, &mut n.mem) {
+            n.tx_dma_scheduled = true;
+            self.queue
+                .schedule_with_priority(next.max(now), Priority::DMA, Ev::TxDma { node });
+        }
+        let n = &mut self.nodes[node];
+        if !n.tx_wire_scheduled {
+            if let Some(ready) = n.nic.tx_next_wire_ready() {
+                n.tx_wire_scheduled = true;
+                self.queue.schedule_with_priority(
+                    ready.max(now),
+                    Priority::DEVICE,
+                    Ev::TxWire { node },
+                );
+            }
+        }
+    }
+
+    fn handle_tx_wire(&mut self, now: Tick, node: usize) {
+        self.nodes[node].tx_wire_scheduled = false;
+        while let Some((_, packet)) = self.nodes[node].nic.tx_take_wire_packet(now) {
+            let arrival = self.nodes[node].out_link.transmit(now, packet.len());
+            if self.loadgen.is_some() && node == 0 {
+                Self::tap(&mut self.capture, now, &packet);
+                self.queue
+                    .schedule_with_priority(arrival, Priority::LINK, Ev::LoadGenRx { packet });
+            } else {
+                let peer = 1 - node;
+                self.queue.schedule_with_priority(
+                    arrival,
+                    Priority::LINK,
+                    Ev::NicRx { node: peer, packet },
+                );
+            }
+        }
+        let n = &mut self.nodes[node];
+        if let Some(ready) = n.nic.tx_next_wire_ready() {
+            n.tx_wire_scheduled = true;
+            self.queue.schedule_with_priority(
+                ready.max(now + 1),
+                Priority::DEVICE,
+                Ev::TxWire { node },
+            );
+        }
+        // The TX FIFO drained; the DMA engine may have stalled on it.
+        self.maybe_kick_tx_dma(now, node);
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.queue.now())
+            .field("nodes", &self.nodes.len())
+            .field("dual_mode", &self.loadgen.is_none())
+            .finish()
+    }
+}

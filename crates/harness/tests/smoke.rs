@@ -1,0 +1,133 @@
+//! End-to-end smoke tests: the assembled node must reproduce the paper's
+//! qualitative behaviours before any figure is generated.
+
+use simnet_harness::{run_point, AppSpec, RunConfig, SystemConfig};
+
+#[test]
+fn testpmd_light_load_forwards_without_drops() {
+    let cfg = SystemConfig::gem5();
+    let s = run_point(&cfg, &AppSpec::TestPmd, 256, 5.0, RunConfig::fast());
+    assert!(
+        s.drop_rate < 0.001,
+        "5 Gbps of 256B must be trivial: drops {:.3}%",
+        s.drop_rate * 100.0
+    );
+    let achieved = s.achieved_gbps();
+    assert!(
+        (4.0..6.0).contains(&achieved),
+        "echoed bandwidth should track offered: {achieved:.2} Gbps"
+    );
+    assert!(s.report.latency.count > 100, "RTTs were measured");
+    // RTT ≈ 2 × 100 µs propagation + processing.
+    assert!(
+        s.report.latency.mean > 190_000_000.0 && s.report.latency.mean < 260_000_000.0,
+        "mean RTT {:.1} µs",
+        s.report.latency.mean / 1e6
+    );
+}
+
+#[test]
+fn testpmd_small_packet_overload_is_core_bound() {
+    let cfg = SystemConfig::gem5();
+    let s = run_point(&cfg, &AppSpec::TestPmd, 64, 60.0, RunConfig::fast());
+    assert!(s.drop_rate > 0.05, "60 Gbps of 64B must overwhelm: {:.3}", s.drop_rate);
+    let (dma, core, tx) = s.drop_breakdown;
+    assert!(
+        core > dma && core > tx,
+        "small-packet drops are CoreDrops (Fig. 5): dma={dma:.2} core={core:.2} tx={tx:.2}"
+    );
+}
+
+#[test]
+fn testpmd_large_packet_overload_is_dma_bound() {
+    let cfg = SystemConfig::gem5();
+    let s = run_point(&cfg, &AppSpec::TestPmd, 1518, 90.0, RunConfig::fast());
+    assert!(s.drop_rate > 0.01, "90 Gbps of 1518B exceeds the I/O path");
+    let (dma, core, _tx) = s.drop_breakdown;
+    assert!(
+        dma > core,
+        "large-packet drops are DmaDrops (Fig. 5): dma={dma:.2} core={core:.2}"
+    );
+    // The achieved plateau sits in the paper's 50-60 Gbps band.
+    let achieved = s.achieved_gbps();
+    assert!(
+        (40.0..62.0).contains(&achieved),
+        "DMA-bound plateau: {achieved:.1} Gbps"
+    );
+}
+
+#[test]
+fn touchfwd_is_much_slower_than_testpmd() {
+    let cfg = SystemConfig::gem5();
+    let fast = run_point(&cfg, &AppSpec::TestPmd, 1518, 30.0, RunConfig::fast());
+    let slow = run_point(&cfg, &AppSpec::TouchFwd, 1518, 30.0, RunConfig::fast());
+    assert!(fast.drop_rate < 0.01, "testpmd sustains 30 Gbps at 1518B");
+    assert!(
+        slow.drop_rate > 0.3,
+        "touchfwd cannot sustain 30 Gbps: drops {:.2}",
+        slow.drop_rate
+    );
+}
+
+#[test]
+fn iperf_ceiling_is_single_digit_gbps() {
+    let cfg = SystemConfig::gem5();
+    let s = run_point(&cfg, &AppSpec::Iperf, 1518, 30.0, RunConfig::long());
+    // The kernel stack cannot move 30 Gbps; most packets drop.
+    assert!(
+        s.drop_rate > 0.3,
+        "kernel stack at 30 Gbps must collapse: {:.2}",
+        s.drop_rate
+    );
+    let sustained = run_point(&cfg, &AppSpec::Iperf, 1518, 6.0, RunConfig::long());
+    assert!(
+        sustained.drop_rate < 0.05,
+        "kernel stack sustains ~6 Gbps at 1518B: drops {:.3}",
+        sustained.drop_rate
+    );
+}
+
+#[test]
+fn memcached_dpdk_answers_requests() {
+    let cfg = SystemConfig::gem5();
+    let s = run_point(&cfg, &AppSpec::MemcachedDpdk, 0, 200.0, RunConfig::long());
+    assert!(s.drop_rate < 0.05, "200 kRPS is sustainable: {:.3}", s.drop_rate);
+    let rps = s.achieved_rps();
+    assert!(
+        (150_000.0..260_000.0).contains(&rps),
+        "achieved {rps:.0} rps"
+    );
+    assert!(s.report.latency.count > 50, "request RTTs measured");
+}
+
+#[test]
+fn memcached_dpdk_beats_memcached_kernel() {
+    let cfg = SystemConfig::gem5();
+    let rate = 600.0; // kRPS — above the kernel cap, below the DPDK cap
+    let dpdk = run_point(&cfg, &AppSpec::MemcachedDpdk, 0, rate, RunConfig::long());
+    let kernel = run_point(&cfg, &AppSpec::MemcachedKernel, 0, rate, RunConfig::long());
+    // Request workloads collapse by leaving requests unanswered (the
+    // load generator's drop view), not by NIC FIFO overruns.
+    assert!(
+        kernel.report.drop_rate > dpdk.report.drop_rate + 0.2,
+        "kernel collapses first: dpdk={:.2} kernel={:.2}",
+        dpdk.report.drop_rate,
+        kernel.report.drop_rate
+    );
+    assert!(
+        dpdk.achieved_rps() > kernel.achieved_rps() * 2.0,
+        "dpdk {:.0} rps vs kernel {:.0} rps",
+        dpdk.achieved_rps(),
+        kernel.achieved_rps()
+    );
+}
+
+#[test]
+fn determinism_same_seed_same_summary() {
+    let cfg = SystemConfig::gem5();
+    let a = run_point(&cfg, &AppSpec::TestPmd, 256, 20.0, RunConfig::fast());
+    let b = run_point(&cfg, &AppSpec::TestPmd, 256, 20.0, RunConfig::fast());
+    assert_eq!(a.report.tx_packets, b.report.tx_packets);
+    assert_eq!(a.report.rx_packets, b.report.rx_packets);
+    assert_eq!(a.drop_counts, b.drop_counts);
+}

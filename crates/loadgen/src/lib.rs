@@ -1,0 +1,379 @@
+//! `EtherLoadGen` — the hardware load-generator simulation model (§IV).
+//!
+//! "The hardware load generator model can generate packets at arbitrary
+//! rates, sizes, and traffic patterns ... has a single Ethernet port and
+//! can directly connect to the NIC port of a simulated node." It replaces
+//! the Drive Node of dual-mode simulations (Fig. 1b), so measurements are
+//! free of client-side queuing and the client can never be the bottleneck
+//! (the Fig. 6 artifact of the software Pktgen client).
+//!
+//! Modes:
+//!
+//! * [`synthetic`] — fixed/Poisson inter-arrival Ethernet frames of a
+//!   configured size, timestamped in-payload for RTT measurement.
+//! * [`trace`] — PCAP replay with destination-MAC rewrite, honoring the
+//!   trace's timestamps or overriding the rate.
+//! * [`memcached_client`] — GET/SET request generation with Zipfian
+//!   key/value lengths and a request-id → departure-time map for
+//!   per-request latency (§VI.A).
+//!
+//! The generator reports mean, median, standard deviation and tail
+//! latency, a forwarding-latency histogram, and the drop percentage; the
+//! [`ramp`] module implements the "bandwidth test mode that gradually
+//! increases the bandwidth to find the maximum sustainable bandwidth".
+
+pub mod memcached_client;
+pub mod ramp;
+pub mod tcp_client;
+pub mod report;
+pub mod synthetic;
+pub mod trace;
+
+pub use memcached_client::MemcachedClientConfig;
+pub use ramp::{find_knee, RatePoint, MSB_DROP_THRESHOLD};
+pub use report::LoadGenReport;
+pub use synthetic::SyntheticConfig;
+pub use tcp_client::TcpClientConfig;
+pub use trace::TraceConfig;
+
+use simnet_net::{timestamp, Packet};
+use simnet_sim::random::SimRng;
+use simnet_sim::stats::{Counter, Histogram, SampleSet};
+use simnet_sim::tick::{us, Tick};
+
+/// What kind of traffic the generator produces.
+#[derive(Debug, Clone)]
+pub enum LoadGenMode {
+    /// Synthetic fixed-size Ethernet frames.
+    Synthetic(SyntheticConfig),
+    /// PCAP trace replay.
+    Trace(TraceConfig),
+    /// Memcached GET/SET client.
+    Memcached(MemcachedClientConfig),
+    /// TCP bulk-stream client (the paper's future-work extension: a TCP
+    /// state machine inside the load generator).
+    Tcp(TcpClientConfig),
+}
+
+/// The load generator.
+pub struct EtherLoadGen {
+    mode: LoadGenMode,
+    rng: SimRng,
+    next_id: u64,
+    next_departure: Option<Tick>,
+    /// Open-loop by default; `Some(w)` bounds outstanding packets
+    /// (closed-loop client, §IV referencing open vs. closed clients).
+    window: Option<usize>,
+    limit: Option<u64>,
+    tx_packets: Counter,
+    tx_bytes: Counter,
+    rx_packets: Counter,
+    rx_bytes: Counter,
+    latency: SampleSet,
+    latency_histogram: Histogram,
+    first_tx: Option<Tick>,
+    last_rx: Tick,
+    outstanding: usize,
+}
+
+impl EtherLoadGen {
+    /// Creates a generator in the given mode, seeded for determinism.
+    pub fn new(mode: LoadGenMode, seed: u64) -> Self {
+        Self {
+            mode,
+            rng: SimRng::seed_from(seed),
+            next_id: 0,
+            next_departure: Some(0),
+            window: None,
+            limit: None,
+            tx_packets: Counter::new(),
+            tx_bytes: Counter::new(),
+            rx_packets: Counter::new(),
+            rx_bytes: Counter::new(),
+            latency: SampleSet::with_capacity(1 << 18),
+            latency_histogram: Histogram::new(0.0, us(1000) as f64, 200),
+            first_tx: None,
+            last_rx: 0,
+            outstanding: 0,
+        }
+    }
+
+    /// Bounds the number of in-flight packets (closed-loop client).
+    pub fn set_closed_loop(&mut self, window: usize) {
+        self.window = Some(window.max(1));
+    }
+
+    /// Stops generating after `count` packets.
+    pub fn set_packet_limit(&mut self, count: u64) {
+        self.limit = Some(count);
+    }
+
+    /// The tick at which the next packet wants to depart, or `None` if
+    /// generation is finished or blocked on the closed-loop window.
+    pub fn next_departure(&self, now: Tick) -> Option<Tick> {
+        if self.limit.is_some_and(|l| self.next_id >= l) {
+            return None;
+        }
+        if self
+            .window
+            .is_some_and(|w| self.outstanding >= w)
+        {
+            return None; // unblocked by a future on_rx
+        }
+        match &self.mode {
+            // TCP paces itself: window occupancy and RTO deadlines.
+            LoadGenMode::Tcp(cfg) => cfg.next_departure(now),
+            _ => self.next_departure.map(|t| t.max(now)),
+        }
+    }
+
+    /// Materializes the packet departing at `now` and schedules the next
+    /// departure. Call only at/after the tick returned by
+    /// [`EtherLoadGen::next_departure`].
+    pub fn take_packet(&mut self, now: Tick) -> Option<Packet> {
+        self.next_departure(now)?;
+        let id = self.next_id;
+        self.next_id += 1;
+
+        let (mut packet, interval) = match &mut self.mode {
+            LoadGenMode::Synthetic(cfg) => cfg.build(id, &mut self.rng),
+            LoadGenMode::Trace(cfg) => cfg.build(id, now)?,
+            LoadGenMode::Memcached(cfg) => cfg.build(id, now, &mut self.rng),
+            LoadGenMode::Tcp(cfg) => (cfg.build(id, now)?, None),
+        };
+
+        // Synthetic mode stamps the departure tick into the payload at the
+        // configurable offset; echoes carry it back for RTT measurement.
+        if let LoadGenMode::Synthetic(cfg) = &self.mode {
+            timestamp::write_timestamp(&mut packet, cfg.timestamp_offset, now);
+        }
+
+        if !matches!(self.mode, LoadGenMode::Tcp(_)) {
+            self.next_departure = interval.map(|dt| now + dt);
+        }
+        self.tx_packets.inc();
+        self.tx_bytes.add(packet.len() as u64);
+        self.first_tx.get_or_insert(now);
+        self.outstanding += 1;
+        Some(packet)
+    }
+
+    /// Delivers a packet returning from the node under test; measures RTT.
+    pub fn on_rx(&mut self, now: Tick, packet: &Packet) {
+        self.rx_packets.inc();
+        self.rx_bytes.add(packet.len() as u64);
+        self.last_rx = self.last_rx.max(now);
+        self.outstanding = self.outstanding.saturating_sub(1);
+
+        let rtt = match &mut self.mode {
+            LoadGenMode::Synthetic(cfg) => {
+                timestamp::read_timestamp(packet, cfg.timestamp_offset)
+                    .map(|sent| now.saturating_sub(sent))
+            }
+            LoadGenMode::Memcached(cfg) => cfg.match_response(now, packet),
+            LoadGenMode::Trace(_) => None,
+            LoadGenMode::Tcp(cfg) => cfg.on_rx(now, packet),
+        };
+        if let Some(rtt) = rtt {
+            self.latency.record(rtt as f64);
+            self.latency_histogram.record(rtt as f64);
+        }
+    }
+
+    /// Whether a closed-loop sender may have been unblocked by the last
+    /// receive (the node should re-query [`EtherLoadGen::next_departure`]).
+    pub fn unblocked(&self) -> bool {
+        // TCP's window opens on any ACK; closed-loop synthetic clients on
+        // any echo.
+        matches!(self.mode, LoadGenMode::Tcp(_))
+            || self.window.is_some_and(|w| self.outstanding < w)
+    }
+
+    /// The TCP client state, when in TCP mode (goodput/retransmission
+    /// counters).
+    pub fn tcp(&self) -> Option<&TcpClientConfig> {
+        match &self.mode {
+            LoadGenMode::Tcp(cfg) => Some(cfg),
+            _ => None,
+        }
+    }
+
+    /// Packets transmitted.
+    pub fn tx_packets(&self) -> u64 {
+        self.tx_packets.value()
+    }
+
+    /// Packets received back.
+    pub fn rx_packets(&self) -> u64 {
+        self.rx_packets.value()
+    }
+
+    /// Echoed/answered packets currently outstanding.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// The latency histogram.
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency_histogram
+    }
+
+    /// Builds the statistics report over the window `[start, end]`.
+    pub fn report(&self, start: Tick, end: Tick) -> LoadGenReport {
+        LoadGenReport::compute(
+            self.tx_packets.value(),
+            self.tx_bytes.value(),
+            self.rx_packets.value(),
+            self.rx_bytes.value(),
+            self.latency.summary(),
+            start,
+            end,
+        )
+    }
+
+    /// Clears statistics (post-warm-up reset); generation state persists.
+    pub fn reset_stats(&mut self) {
+        self.tx_packets.reset();
+        self.tx_bytes.reset();
+        self.rx_packets.reset();
+        self.rx_bytes.reset();
+        self.latency.reset();
+        self.latency_histogram.reset();
+        self.first_tx = None;
+        if let LoadGenMode::Memcached(cfg) = &mut self.mode {
+            cfg.reset_stats();
+        }
+        if let LoadGenMode::Tcp(cfg) = &mut self.mode {
+            cfg.acked_bytes.reset();
+            cfg.retransmissions.reset();
+            cfg.timeouts.reset();
+        }
+    }
+}
+
+impl std::fmt::Debug for EtherLoadGen {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EtherLoadGen")
+            .field("tx", &self.tx_packets.value())
+            .field("rx", &self.rx_packets.value())
+            .field("outstanding", &self.outstanding)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet_net::MacAddr;
+    use simnet_sim::tick::Bandwidth;
+
+    fn synthetic_gen(gbps: f64, size: usize) -> EtherLoadGen {
+        let cfg = SyntheticConfig::fixed_rate(
+            size,
+            Bandwidth::gbps(gbps),
+            MacAddr::simulated(1),
+            MacAddr::simulated(99),
+        );
+        EtherLoadGen::new(LoadGenMode::Synthetic(cfg), 7)
+    }
+
+    #[test]
+    fn fixed_rate_departures_are_evenly_spaced() {
+        let mut lg = synthetic_gen(10.0, 1000);
+        let t0 = lg.next_departure(0).unwrap();
+        lg.take_packet(t0).unwrap();
+        let t1 = lg.next_departure(t0).unwrap();
+        lg.take_packet(t1).unwrap();
+        let t2 = lg.next_departure(t1).unwrap();
+        // 1000B at 10 Gbps -> 800 ns between departures.
+        assert_eq!(t1 - t0, 800_000);
+        assert_eq!(t2 - t1, 800_000);
+    }
+
+    #[test]
+    fn rtt_is_measured_from_embedded_timestamp() {
+        let mut lg = synthetic_gen(10.0, 256);
+        let pkt = lg.take_packet(1_000_000).unwrap();
+        // Echo comes back 5 µs later.
+        lg.on_rx(6_000_000, &pkt);
+        let report = lg.report(0, 10_000_000);
+        assert_eq!(report.latency.count, 1);
+        assert_eq!(report.latency.mean, 5_000_000.0);
+    }
+
+    #[test]
+    fn drop_percentage_reflects_unreturned_packets() {
+        let mut lg = synthetic_gen(10.0, 256);
+        let mut packets = Vec::new();
+        let mut now = 0;
+        for _ in 0..10 {
+            now = lg.next_departure(now).unwrap();
+            packets.push(lg.take_packet(now).unwrap());
+        }
+        for pkt in &packets[..7] {
+            lg.on_rx(now + 1000, pkt);
+        }
+        let report = lg.report(0, now + 2000);
+        assert!((report.drop_rate - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packet_limit_stops_generation() {
+        let mut lg = synthetic_gen(10.0, 64);
+        lg.set_packet_limit(3);
+        let mut now = 0;
+        for _ in 0..3 {
+            now = lg.next_departure(now).unwrap();
+            lg.take_packet(now).unwrap();
+        }
+        assert_eq!(lg.next_departure(now), None);
+        assert_eq!(lg.tx_packets(), 3);
+    }
+
+    #[test]
+    fn closed_loop_blocks_at_window() {
+        let mut lg = synthetic_gen(100.0, 64);
+        lg.set_closed_loop(2);
+        let t0 = lg.next_departure(0).unwrap();
+        let a = lg.take_packet(t0).unwrap();
+        let t1 = lg.next_departure(t0).unwrap();
+        lg.take_packet(t1).unwrap();
+        assert_eq!(lg.next_departure(t1), None, "window of 2 is full");
+        assert!(!lg.unblocked());
+        lg.on_rx(t1 + 100, &a);
+        assert!(lg.unblocked());
+        assert!(lg.next_departure(t1 + 100).is_some());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let cfg = SyntheticConfig::poisson(
+                128,
+                Bandwidth::gbps(20.0),
+                MacAddr::simulated(1),
+                MacAddr::simulated(2),
+            );
+            let mut lg = EtherLoadGen::new(LoadGenMode::Synthetic(cfg), 42);
+            let mut times = Vec::new();
+            let mut now = 0;
+            for _ in 0..50 {
+                now = lg.next_departure(now).unwrap();
+                lg.take_packet(now).unwrap();
+                times.push(now);
+            }
+            times
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reset_stats_preserves_schedule() {
+        let mut lg = synthetic_gen(10.0, 256);
+        let t0 = lg.next_departure(0).unwrap();
+        lg.take_packet(t0).unwrap();
+        lg.reset_stats();
+        assert_eq!(lg.tx_packets(), 0);
+        assert!(lg.next_departure(t0).is_some());
+    }
+}

@@ -1,0 +1,133 @@
+//! The bandwidth-test mode: finding the maximum sustainable bandwidth.
+//!
+//! §IV: "`EtherLoadGen` also supports a bandwidth test mode where it
+//! gradually increases the bandwidth to find the maximum sustainable
+//! bandwidth of a server, which is the bandwidth at the knee of the
+//! bandwidth vs. packet drop graph." §VII.C pins the definition used for
+//! the sensitivity studies: "the network bandwidth at the point on the
+//! bandwidth versus packet drop graph where the drop rate exceeds 1%."
+
+/// One measured point of a bandwidth ramp.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RatePoint {
+    /// Offered load (Gbps of frame bytes, or kRPS for request workloads).
+    pub offered: f64,
+    /// Achieved throughput at that load (same unit).
+    pub achieved: f64,
+    /// Observed drop rate in `[0, 1]`.
+    pub drop_rate: f64,
+}
+
+/// The MSB drop-rate threshold (1%, §VII.C).
+pub const MSB_DROP_THRESHOLD: f64 = 0.01;
+
+/// Finds the knee of a ramp: the highest offered load whose drop rate is
+/// at or below `threshold`, linearly interpolated against the first point
+/// that exceeds it. Returns `None` if the very first point already drops
+/// too much, and the last point's offered load if nothing ever drops.
+///
+/// Points must be sorted by increasing offered load.
+///
+/// ```
+/// use simnet_loadgen::{find_knee, RatePoint};
+/// let ramp = [
+///     RatePoint { offered: 10.0, achieved: 10.0, drop_rate: 0.0 },
+///     RatePoint { offered: 20.0, achieved: 20.0, drop_rate: 0.005 },
+///     RatePoint { offered: 30.0, achieved: 24.0, drop_rate: 0.05 },
+/// ];
+/// let msb = find_knee(&ramp, 0.01).unwrap();
+/// assert!(msb > 20.0 && msb < 30.0);
+/// ```
+pub fn find_knee(points: &[RatePoint], threshold: f64) -> Option<f64> {
+    let mut last_good: Option<&RatePoint> = None;
+    for point in points {
+        if point.drop_rate <= threshold {
+            last_good = Some(point);
+        } else {
+            return match last_good {
+                Some(good) => {
+                    // Interpolate between the last sustainable point and
+                    // the first unsustainable one.
+                    let span = point.drop_rate - good.drop_rate;
+                    if span <= 0.0 {
+                        Some(good.offered)
+                    } else {
+                        let f = (threshold - good.drop_rate) / span;
+                        Some(good.offered + f * (point.offered - good.offered))
+                    }
+                }
+                None => None,
+            };
+        }
+    }
+    last_good.map(|p| p.offered)
+}
+
+/// Builds a geometric ramp of offered loads from `lo` to `hi` (inclusive)
+/// with `steps` points — the schedule the bandwidth-test mode sweeps.
+///
+/// # Panics
+///
+/// Panics if the bounds are non-positive, inverted, or `steps < 2`.
+pub fn geometric_ramp(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+    assert!(steps >= 2, "need at least two steps");
+    let ratio = (hi / lo).powf(1.0 / (steps - 1) as f64);
+    (0..steps).map(|i| lo * ratio.powi(i as i32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(offered: f64, drop: f64) -> RatePoint {
+        RatePoint {
+            offered,
+            achieved: offered * (1.0 - drop),
+            drop_rate: drop,
+        }
+    }
+
+    #[test]
+    fn knee_interpolates_at_threshold() {
+        let ramp = [point(10.0, 0.0), point(20.0, 0.0), point(40.0, 0.03)];
+        let msb = find_knee(&ramp, 0.01).unwrap();
+        // Interpolated a third of the way from 20 to 40.
+        assert!((msb - 26.666).abs() < 0.01, "msb={msb}");
+    }
+
+    #[test]
+    fn no_drops_returns_last_offered() {
+        let ramp = [point(10.0, 0.0), point(20.0, 0.005)];
+        assert_eq!(find_knee(&ramp, 0.01), Some(20.0));
+    }
+
+    #[test]
+    fn immediate_overload_returns_none() {
+        let ramp = [point(10.0, 0.5)];
+        assert_eq!(find_knee(&ramp, 0.01), None);
+        assert_eq!(find_knee(&[], 0.01), None);
+    }
+
+    #[test]
+    fn flat_drop_profile_uses_last_good() {
+        let ramp = [point(10.0, 0.01), point(20.0, 0.01), point(30.0, 0.4)];
+        let msb = find_knee(&ramp, 0.01).unwrap();
+        assert!(msb >= 20.0);
+    }
+
+    #[test]
+    fn geometric_ramp_spans_range() {
+        let ramp = geometric_ramp(1.0, 100.0, 5);
+        assert_eq!(ramp.len(), 5);
+        assert!((ramp[0] - 1.0).abs() < 1e-9);
+        assert!((ramp[4] - 100.0).abs() < 1e-6);
+        assert!(ramp.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < lo < hi")]
+    fn bad_ramp_bounds_rejected() {
+        geometric_ramp(10.0, 5.0, 3);
+    }
+}

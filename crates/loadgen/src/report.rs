@@ -1,0 +1,136 @@
+//! The load generator's statistics report.
+
+use simnet_sim::stats::LatencySummary;
+use simnet_sim::tick::{Bandwidth, Tick};
+
+/// The statistics `EtherLoadGen` writes at the end of a run (§IV): packet
+/// and byte counts, achieved bandwidths, drop percentage, and the RTT
+/// summary (mean/median/stddev/tails).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LoadGenReport {
+    /// Packets transmitted toward the node under test.
+    pub tx_packets: u64,
+    /// Frame bytes transmitted.
+    pub tx_bytes: u64,
+    /// Packets received back.
+    pub rx_packets: u64,
+    /// Frame bytes received back.
+    pub rx_bytes: u64,
+    /// Offered load over the window, Gbps of frame bytes.
+    pub offered_gbps: f64,
+    /// Achieved (echoed) bandwidth over the window, Gbps.
+    pub achieved_gbps: f64,
+    /// Requests (packets) per second received back.
+    pub achieved_rps: f64,
+    /// Fraction of transmitted packets never seen again.
+    pub drop_rate: f64,
+    /// Round-trip latency summary.
+    pub latency: LatencySummary,
+}
+
+impl LoadGenReport {
+    /// Computes a report from raw counters over the window `[start, end]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute(
+        tx_packets: u64,
+        tx_bytes: u64,
+        rx_packets: u64,
+        rx_bytes: u64,
+        latency: LatencySummary,
+        start: Tick,
+        end: Tick,
+    ) -> Self {
+        let window = end.saturating_sub(start);
+        let drop_rate = if tx_packets == 0 {
+            0.0
+        } else {
+            1.0 - (rx_packets.min(tx_packets) as f64 / tx_packets as f64)
+        };
+        Self {
+            tx_packets,
+            tx_bytes,
+            rx_packets,
+            rx_bytes,
+            offered_gbps: Bandwidth::measured_gbps(tx_bytes, window),
+            achieved_gbps: Bandwidth::measured_gbps(rx_bytes, window),
+            achieved_rps: if window == 0 {
+                0.0
+            } else {
+                rx_packets as f64 / (window as f64 / simnet_sim::tick::S as f64)
+            },
+            drop_rate,
+            latency,
+        }
+    }
+}
+
+impl std::fmt::Display for LoadGenReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "tx={} rx={} offered={:.2} Gbps achieved={:.2} Gbps ({:.0} rps) drops={:.2}%",
+            self.tx_packets,
+            self.rx_packets,
+            self.offered_gbps,
+            self.achieved_gbps,
+            self.achieved_rps,
+            self.drop_rate * 100.0
+        )?;
+        write!(
+            f,
+            "rtt: mean={:.1} ns median={:.1} ns sd={:.1} ns p99={:.1} ns (n={})",
+            self.latency.mean / 1e3,
+            self.latency.median / 1e3,
+            self.latency.stddev / 1e3,
+            self.latency.p99 / 1e3,
+            self.latency.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_and_drop_math() {
+        let r = LoadGenReport::compute(
+            100,
+            100 * 1000,
+            80,
+            80 * 1000,
+            LatencySummary::empty(),
+            0,
+            simnet_sim::tick::us(8),
+        );
+        // 100 kB in 8 µs = 100 Gbps offered.
+        assert!((r.offered_gbps - 100.0).abs() < 1e-9);
+        assert!((r.achieved_gbps - 80.0).abs() < 1e-9);
+        assert!((r.drop_rate - 0.2).abs() < 1e-12);
+        assert!((r.achieved_rps - 10e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_window_is_safe() {
+        let r = LoadGenReport::compute(0, 0, 0, 0, LatencySummary::empty(), 5, 5);
+        assert_eq!(r.drop_rate, 0.0);
+        assert_eq!(r.achieved_gbps, 0.0);
+        assert_eq!(r.achieved_rps, 0.0);
+    }
+
+    #[test]
+    fn more_rx_than_tx_is_clamped() {
+        // Echoes from warm-up packets can outnumber window TX; drop rate
+        // must not go negative.
+        let r = LoadGenReport::compute(10, 1000, 12, 1200, LatencySummary::empty(), 0, 100);
+        assert_eq!(r.drop_rate, 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = LoadGenReport::compute(1, 64, 1, 64, LatencySummary::empty(), 0, 1000);
+        let s = r.to_string();
+        assert!(s.contains("tx=1"));
+        assert!(s.contains("rtt:"));
+    }
+}

@@ -1,0 +1,218 @@
+//! Trace mode: PCAP replay.
+//!
+//! §IV: the generator "parses PCAP files ... and reads the networking
+//! trace for each packet. It then modifies the destination physical
+//! address in the packet's Ethernet header to match the one in the
+//! simulated system. The modified packet is dispatched ... at either a
+//! statically configured rate or based on the timestamp information from
+//! the original trace."
+
+use std::io::Read;
+
+use simnet_net::ethernet::set_destination;
+use simnet_net::pcap::{PcapError, PcapReader, PcapRecord};
+use simnet_net::{MacAddr, Packet};
+use simnet_sim::Tick;
+
+/// How replayed packets are paced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pacing {
+    /// Use the inter-packet gaps recorded in the trace.
+    HonorTimestamps,
+    /// Send at a fixed interval, overriding the trace timing.
+    FixedInterval(Tick),
+}
+
+/// Trace-mode parameters and cursor state.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    records: Vec<PcapRecord>,
+    cursor: usize,
+    pacing: Pacing,
+    rewrite_dst: MacAddr,
+    /// Restart from the beginning when the trace ends.
+    pub loop_replay: bool,
+}
+
+impl TraceConfig {
+    /// Builds trace mode from in-memory records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn from_records(records: Vec<PcapRecord>, pacing: Pacing, rewrite_dst: MacAddr) -> Self {
+        assert!(!records.is_empty(), "trace must contain packets");
+        Self {
+            records,
+            cursor: 0,
+            pacing,
+            rewrite_dst,
+            loop_replay: false,
+        }
+    }
+
+    /// Reads a PCAP stream (e.g. a file captured with tcpdump or the
+    /// simulator's pdump tap) into trace mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PCAP parse errors.
+    pub fn from_pcap<R: Read>(
+        reader: R,
+        pacing: Pacing,
+        rewrite_dst: MacAddr,
+    ) -> Result<Self, PcapError> {
+        let records = PcapReader::new(reader)?.read_all()?;
+        if records.is_empty() {
+            return Err(PcapError::Truncated);
+        }
+        Ok(Self::from_records(records, pacing, rewrite_dst))
+    }
+
+    /// Number of packets in the trace.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub(crate) fn build(&mut self, id: u64, _now: Tick) -> Option<(Packet, Option<Tick>)> {
+        if self.cursor >= self.records.len() {
+            if self.loop_replay {
+                self.cursor = 0;
+            } else {
+                return None;
+            }
+        }
+        let record = &self.records[self.cursor];
+        let mut data = record.data.clone();
+        if data.len() >= simnet_net::ETHERNET_HEADER_LEN {
+            set_destination(&mut data, self.rewrite_dst);
+        }
+        let packet = Packet::from_bytes(id, data);
+
+        let next_cursor = self.cursor + 1;
+        let interval = match self.pacing {
+            Pacing::FixedInterval(dt) => Some(dt.max(1)),
+            Pacing::HonorTimestamps => {
+                let this_tick = record.tick;
+                let next_tick = if next_cursor < self.records.len() {
+                    Some(self.records[next_cursor].tick)
+                } else if self.loop_replay {
+                    // Wrap-around gap: reuse the first inter-packet gap.
+                    self.records.get(1).map(|r| this_tick + (r.tick - self.records[0].tick))
+                } else {
+                    None
+                };
+                next_tick.map(|t| t.saturating_sub(this_tick).max(1)).or(Some(1))
+            }
+        };
+        self.cursor = next_cursor;
+        Some((packet, interval))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet_net::pcap::PcapWriter;
+    use simnet_net::PacketBuilder;
+
+    fn sample_trace() -> Vec<PcapRecord> {
+        vec![
+            PcapRecord {
+                tick: 1_000,
+                data: PacketBuilder::new().frame_len(64).build(0).into_bytes(),
+                orig_len: 64,
+            },
+            PcapRecord {
+                tick: 5_000,
+                data: PacketBuilder::new().frame_len(128).build(0).into_bytes(),
+                orig_len: 128,
+            },
+            PcapRecord {
+                tick: 6_000,
+                data: PacketBuilder::new().frame_len(256).build(0).into_bytes(),
+                orig_len: 256,
+            },
+        ]
+    }
+
+    #[test]
+    fn honor_timestamps_reproduces_gaps() {
+        let mut cfg = TraceConfig::from_records(
+            sample_trace(),
+            Pacing::HonorTimestamps,
+            MacAddr::simulated(7),
+        );
+        let (_, i1) = cfg.build(0, 0).unwrap();
+        let (_, i2) = cfg.build(1, 0).unwrap();
+        assert_eq!(i1, Some(4_000));
+        assert_eq!(i2, Some(1_000));
+    }
+
+    #[test]
+    fn fixed_interval_overrides_trace_timing() {
+        let mut cfg = TraceConfig::from_records(
+            sample_trace(),
+            Pacing::FixedInterval(250),
+            MacAddr::simulated(7),
+        );
+        let (_, i1) = cfg.build(0, 0).unwrap();
+        assert_eq!(i1, Some(250));
+    }
+
+    #[test]
+    fn destination_mac_is_rewritten() {
+        let mut cfg = TraceConfig::from_records(
+            sample_trace(),
+            Pacing::HonorTimestamps,
+            MacAddr::simulated(42),
+        );
+        let (pkt, _) = cfg.build(0, 0).unwrap();
+        assert_eq!(pkt.ethernet().unwrap().dst, MacAddr::simulated(42));
+    }
+
+    #[test]
+    fn exhausted_trace_stops_unless_looping() {
+        let mut cfg = TraceConfig::from_records(
+            sample_trace(),
+            Pacing::FixedInterval(10),
+            MacAddr::simulated(1),
+        );
+        for i in 0..3 {
+            assert!(cfg.build(i, 0).is_some());
+        }
+        assert!(cfg.build(3, 0).is_none());
+
+        cfg.loop_replay = true;
+        let (pkt, _) = cfg.build(4, 0).expect("loops back to start");
+        assert_eq!(pkt.len(), 64);
+    }
+
+    #[test]
+    fn round_trips_through_pcap_bytes() {
+        let mut buf = Vec::new();
+        let mut writer = PcapWriter::new(&mut buf).unwrap();
+        for r in sample_trace() {
+            writer.write_packet(r.tick, &r.data).unwrap();
+        }
+        drop(writer);
+        let cfg = TraceConfig::from_pcap(
+            &buf[..],
+            Pacing::HonorTimestamps,
+            MacAddr::simulated(1),
+        )
+        .unwrap();
+        assert_eq!(cfg.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain packets")]
+    fn empty_trace_rejected() {
+        TraceConfig::from_records(vec![], Pacing::HonorTimestamps, MacAddr::ZERO);
+    }
+}

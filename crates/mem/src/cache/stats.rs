@@ -1,0 +1,93 @@
+//! Per-cache statistics.
+
+use simnet_sim::stats::Counter;
+
+use super::AccessClass;
+
+/// Hit/miss/eviction counters for one cache, split by access class.
+#[derive(Debug, Clone, Default)]
+pub struct CacheStats {
+    /// Core-path hits.
+    pub core_hits: Counter,
+    /// Core-path misses.
+    pub core_misses: Counter,
+    /// DMA-path hits.
+    pub dma_hits: Counter,
+    /// DMA-path misses.
+    pub dma_misses: Counter,
+    /// Lines displaced by fills.
+    pub evictions: Counter,
+    /// Dirty lines displaced (writeback traffic).
+    pub writebacks: Counter,
+    /// Lines removed by coherence invalidations.
+    pub invalidations: Counter,
+}
+
+impl CacheStats {
+    pub(super) fn record_hit(&mut self, class: AccessClass) {
+        match class {
+            AccessClass::Core => self.core_hits.inc(),
+            AccessClass::Dma => self.dma_hits.inc(),
+        }
+    }
+
+    pub(super) fn record_miss(&mut self, class: AccessClass) {
+        match class {
+            AccessClass::Core => self.core_misses.inc(),
+            AccessClass::Dma => self.dma_misses.inc(),
+        }
+    }
+
+    /// Total accesses from both classes.
+    pub fn accesses(&self) -> u64 {
+        self.core_hits.value()
+            + self.core_misses.value()
+            + self.dma_hits.value()
+            + self.dma_misses.value()
+    }
+
+    /// Miss rate over both classes (0.0 when idle).
+    pub fn miss_rate(&self) -> f64 {
+        let misses = self.core_misses.value() + self.dma_misses.value();
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            misses as f64 / total as f64
+        }
+    }
+
+    /// Core-path miss rate (0.0 when idle) — the "LLC Miss Rate" series of
+    /// Fig. 13 is the core-path miss rate of the LLC.
+    pub fn core_miss_rate(&self) -> f64 {
+        let total = self.core_hits.value() + self.core_misses.value();
+        if total == 0 {
+            0.0
+        } else {
+            self.core_misses.value() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_idle() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.core_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_split_by_class() {
+        let mut s = CacheStats::default();
+        s.record_hit(AccessClass::Core);
+        s.record_miss(AccessClass::Core);
+        s.record_miss(AccessClass::Dma);
+        assert_eq!(s.accesses(), 3);
+        assert!((s.core_miss_rate() - 0.5).abs() < 1e-12);
+        assert!((s.miss_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

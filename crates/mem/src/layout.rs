@@ -1,0 +1,78 @@
+//! The simulated physical address map.
+//!
+//! All components agree on these regions so that the *address streams* seen
+//! by the caches and DRAM are realistic: descriptor rings are small and hot,
+//! mbufs stride at 2 KiB (DPDK's default mempool element), software working
+//! sets occupy their own region, and the KV-store heap sits far away.
+
+use crate::Addr;
+
+/// Size of one NIC descriptor in bytes (legacy e1000 descriptor).
+pub const DESC_SIZE: u64 = 16;
+
+/// Base of the RX descriptor ring.
+pub const RX_RING_BASE: Addr = 0x1000_0000;
+
+/// Base of the TX descriptor ring.
+pub const TX_RING_BASE: Addr = 0x1100_0000;
+
+/// Base of the packet-buffer (mbuf) pool.
+pub const MBUF_BASE: Addr = 0x2000_0000;
+
+/// Stride between mbufs — DPDK's default 2 KiB mempool element, which also
+/// makes every mbuf row-buffer aligned.
+pub const MBUF_STRIDE: u64 = 2048;
+
+/// Base of the software working-set region (instruction + data footprint
+/// of the network stack and application).
+pub const WORKSET_BASE: Addr = 0x4000_0000;
+
+/// Base of the KV-store heap.
+pub const HEAP_BASE: Addr = 0x8000_0000;
+
+/// Address of RX descriptor `index` in a ring of `ring_size` descriptors.
+#[inline]
+pub fn rx_desc_addr(index: usize, ring_size: usize) -> Addr {
+    RX_RING_BASE + (index % ring_size) as u64 * DESC_SIZE
+}
+
+/// Address of TX descriptor `index` in a ring of `ring_size` descriptors.
+#[inline]
+pub fn tx_desc_addr(index: usize, ring_size: usize) -> Addr {
+    TX_RING_BASE + (index % ring_size) as u64 * DESC_SIZE
+}
+
+/// Address of mbuf `index`'s data buffer.
+#[inline]
+pub fn mbuf_addr(index: usize) -> Addr {
+    MBUF_BASE + index as u64 * MBUF_STRIDE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let ring_span = 65_536 * DESC_SIZE;
+        assert!(RX_RING_BASE + ring_span < TX_RING_BASE);
+        assert!(TX_RING_BASE + ring_span < MBUF_BASE);
+        let pool_span = 65_536 * MBUF_STRIDE; // largest supported pool
+        assert!(MBUF_BASE + pool_span < WORKSET_BASE);
+        assert!(WORKSET_BASE < HEAP_BASE);
+    }
+
+    #[test]
+    fn descriptor_rings_wrap() {
+        assert_eq!(rx_desc_addr(0, 256), RX_RING_BASE);
+        assert_eq!(rx_desc_addr(256, 256), RX_RING_BASE);
+        assert_eq!(rx_desc_addr(257, 256), RX_RING_BASE + DESC_SIZE);
+        assert_eq!(tx_desc_addr(5, 256), TX_RING_BASE + 5 * DESC_SIZE);
+    }
+
+    #[test]
+    fn mbufs_stride_two_kib() {
+        assert_eq!(mbuf_addr(0), MBUF_BASE);
+        assert_eq!(mbuf_addr(3), MBUF_BASE + 3 * 2048);
+    }
+}

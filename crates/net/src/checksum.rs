@@ -1,0 +1,100 @@
+//! The Internet checksum (RFC 1071), used by the IPv4 and UDP headers.
+
+/// Computes the 16-bit ones'-complement Internet checksum over `data`.
+///
+/// ```
+/// // RFC 1071 worked example.
+/// let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+/// assert_eq!(simnet_net::checksum::internet_checksum(&data), 0x220d);
+/// ```
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    !fold(sum_words(data))
+}
+
+/// Computes the checksum over several byte slices treated as one stream
+/// (used for the UDP pseudo-header without copying).
+///
+/// Each slice other than the last must have even length so 16-bit word
+/// boundaries are preserved across slices.
+///
+/// # Panics
+///
+/// Panics if a non-final slice has odd length.
+pub fn internet_checksum_parts(parts: &[&[u8]]) -> u16 {
+    let mut total: u32 = 0;
+    for (i, part) in parts.iter().enumerate() {
+        if i + 1 < parts.len() {
+            assert!(
+                part.len().is_multiple_of(2),
+                "non-final checksum part must have even length"
+            );
+        }
+        total += sum_words(part);
+    }
+    !fold(total)
+}
+
+fn sum_words(data: &[u8]) -> u32 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    sum
+}
+
+fn fold(mut sum: u32) -> u16 {
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// Verifies data that *includes* its checksum field: the folded sum must be
+/// `0xffff` (i.e. the computed checksum over the whole buffer is zero).
+pub fn verify(data: &[u8]) -> bool {
+    internet_checksum(data) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_data_checksums_to_ffff() {
+        assert_eq!(internet_checksum(&[0u8; 8]), 0xffff);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        // 0x0102 + 0x0300 = 0x0402 -> !0x0402 = 0xfbfd
+        assert_eq!(internet_checksum(&[0x01, 0x02, 0x03]), 0xfbfd);
+    }
+
+    #[test]
+    fn checksum_in_place_verifies() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0xab, 0xcd, 0x40, 0x00, 0x40, 0x11];
+        let csum = internet_checksum(&data);
+        data.extend_from_slice(&csum.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 1;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn parts_equal_contiguous() {
+        let data: Vec<u8> = (0u8..32).collect();
+        let whole = internet_checksum(&data);
+        let parts = internet_checksum_parts(&[&data[..10], &data[10..20], &data[20..]]);
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    #[should_panic(expected = "even length")]
+    fn parts_reject_odd_interior_slice() {
+        internet_checksum_parts(&[&[1u8, 2, 3], &[4u8]]);
+    }
+}

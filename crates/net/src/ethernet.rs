@@ -1,0 +1,215 @@
+//! Ethernet II framing.
+
+use crate::mac::MacAddr;
+
+/// Length of an Ethernet II header: two MAC addresses plus the
+/// EtherType/length field (the paper's "L2 header (14 bytes)", §V).
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// Minimum Ethernet frame length (without FCS accounting, as the paper's
+/// "64B packets").
+pub const MIN_FRAME_LEN: usize = 64;
+
+/// Maximum standard Ethernet frame length (the paper's "1518B packets").
+pub const MAX_FRAME_LEN: usize = 1518;
+
+/// Per-frame wire overhead outside the frame bytes: 7-byte preamble,
+/// 1-byte SFD and the 12-byte minimum inter-frame gap.
+pub const WIRE_OVERHEAD: usize = 20;
+
+/// EtherType values understood by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (`0x0800`).
+    Ipv4,
+    /// ARP (`0x0806`).
+    Arp,
+    /// IEEE local experimental (`0x88b5`) — used for the load generator's
+    /// plain-Ethernet synthetic traffic (§IV "the synthetic protocol that we
+    /// support for now is plain Ethernet packets").
+    LoadGen,
+    /// Any other value.
+    Other(u16),
+}
+
+impl EtherType {
+    /// The wire value.
+    pub fn value(&self) -> u16 {
+        match *self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::LoadGen => 0x88b5,
+            EtherType::Other(v) => v,
+        }
+    }
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x88b5 => EtherType::LoadGen,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl std::fmt::Display for EtherType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EtherType::Ipv4 => write!(f, "IPv4"),
+            EtherType::Arp => write!(f, "ARP"),
+            EtherType::LoadGen => write!(f, "LoadGen"),
+            EtherType::Other(v) => write!(f, "0x{v:04x}"),
+        }
+    }
+}
+
+/// A parsed Ethernet II header.
+///
+/// ```
+/// use simnet_net::{EthernetHeader, EtherType, MacAddr};
+/// let hdr = EthernetHeader {
+///     dst: MacAddr::simulated(1),
+///     src: MacAddr::simulated(2),
+///     ethertype: EtherType::Ipv4,
+/// };
+/// let mut buf = [0u8; 14];
+/// hdr.write(&mut buf);
+/// assert_eq!(EthernetHeader::parse(&buf), Some(hdr));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EthernetHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// EtherType.
+    pub ethertype: EtherType,
+}
+
+impl EthernetHeader {
+    /// Parses the header from the start of `frame`. Returns `None` if the
+    /// frame is shorter than [`ETHERNET_HEADER_LEN`].
+    pub fn parse(frame: &[u8]) -> Option<Self> {
+        if frame.len() < ETHERNET_HEADER_LEN {
+            return None;
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&frame[0..6]);
+        src.copy_from_slice(&frame[6..12]);
+        let ethertype = u16::from_be_bytes([frame[12], frame[13]]).into();
+        Some(Self {
+            dst: dst.into(),
+            src: src.into(),
+            ethertype,
+        })
+    }
+
+    /// Writes the header to the start of `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is shorter than [`ETHERNET_HEADER_LEN`].
+    pub fn write(&self, frame: &mut [u8]) {
+        assert!(frame.len() >= ETHERNET_HEADER_LEN, "frame too short");
+        frame[0..6].copy_from_slice(&self.dst.octets());
+        frame[6..12].copy_from_slice(&self.src.octets());
+        frame[12..14].copy_from_slice(&self.ethertype.value().to_be_bytes());
+    }
+}
+
+/// Swaps the source and destination MAC addresses in place — the `testpmd`
+/// `macswap` forwarding mode (§V).
+///
+/// # Panics
+///
+/// Panics if `frame` is shorter than [`ETHERNET_HEADER_LEN`].
+pub fn macswap(frame: &mut [u8]) {
+    assert!(frame.len() >= ETHERNET_HEADER_LEN, "frame too short");
+    for i in 0..6 {
+        frame.swap(i, i + 6);
+    }
+}
+
+/// Rewrites the destination MAC in place — what `EtherLoadGen` trace mode
+/// does to retarget replayed packets at the simulated NIC (§IV).
+///
+/// # Panics
+///
+/// Panics if `frame` is shorter than [`ETHERNET_HEADER_LEN`].
+pub fn set_destination(frame: &mut [u8], dst: MacAddr) {
+    assert!(frame.len() >= ETHERNET_HEADER_LEN, "frame too short");
+    frame[0..6].copy_from_slice(&dst.octets());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> Vec<u8> {
+        let mut frame = vec![0u8; MIN_FRAME_LEN];
+        EthernetHeader {
+            dst: MacAddr::simulated(1),
+            src: MacAddr::simulated(2),
+            ethertype: EtherType::LoadGen,
+        }
+        .write(&mut frame);
+        frame
+    }
+
+    #[test]
+    fn parse_write_round_trip() {
+        let frame = sample_frame();
+        let hdr = EthernetHeader::parse(&frame).unwrap();
+        assert_eq!(hdr.dst, MacAddr::simulated(1));
+        assert_eq!(hdr.src, MacAddr::simulated(2));
+        assert_eq!(hdr.ethertype, EtherType::LoadGen);
+    }
+
+    #[test]
+    fn parse_short_frame_is_none() {
+        assert_eq!(EthernetHeader::parse(&[0u8; 13]), None);
+    }
+
+    #[test]
+    fn macswap_swaps() {
+        let mut frame = sample_frame();
+        macswap(&mut frame);
+        let hdr = EthernetHeader::parse(&frame).unwrap();
+        assert_eq!(hdr.dst, MacAddr::simulated(2));
+        assert_eq!(hdr.src, MacAddr::simulated(1));
+        macswap(&mut frame);
+        assert_eq!(frame, sample_frame());
+    }
+
+    #[test]
+    fn set_destination_rewrites_only_dst() {
+        let mut frame = sample_frame();
+        set_destination(&mut frame, MacAddr::BROADCAST);
+        let hdr = EthernetHeader::parse(&frame).unwrap();
+        assert_eq!(hdr.dst, MacAddr::BROADCAST);
+        assert_eq!(hdr.src, MacAddr::simulated(2));
+    }
+
+    #[test]
+    fn ethertype_round_trips() {
+        for et in [
+            EtherType::Ipv4,
+            EtherType::Arp,
+            EtherType::LoadGen,
+            EtherType::Other(0x1234),
+        ] {
+            assert_eq!(EtherType::from(et.value()), et);
+        }
+    }
+
+    #[test]
+    fn paper_frame_bounds() {
+        assert_eq!(ETHERNET_HEADER_LEN, 14);
+        assert_eq!(MIN_FRAME_LEN, 64);
+        assert_eq!(MAX_FRAME_LEN, 1518);
+    }
+}

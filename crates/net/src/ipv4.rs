@@ -1,0 +1,148 @@
+//! A minimal IPv4 header (no options), sufficient for UDP encapsulation.
+
+use crate::checksum;
+
+/// Length of the options-free IPv4 header.
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// IP protocol number for UDP.
+pub const PROTO_UDP: u8 = 17;
+
+/// An IPv4 address.
+pub type Ipv4Addr = [u8; 4];
+
+/// A parsed options-free IPv4 header.
+///
+/// ```
+/// use simnet_net::ipv4::{Ipv4Header, PROTO_UDP};
+/// let hdr = Ipv4Header::new([10, 0, 0, 1], [10, 0, 0, 2], PROTO_UDP, 100);
+/// let mut buf = [0u8; 20];
+/// hdr.write(&mut buf);
+/// let parsed = Ipv4Header::parse(&buf).expect("valid header");
+/// assert_eq!(parsed.src, [10, 0, 0, 1]);
+/// assert_eq!(parsed.total_len, 120);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ipv4Header {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Payload protocol.
+    pub protocol: u8,
+    /// Total length (header + payload) in bytes.
+    pub total_len: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Identification field.
+    pub ident: u16,
+}
+
+impl Ipv4Header {
+    /// Creates a header for `payload_len` bytes of payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total length would exceed `u16::MAX`.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, payload_len: usize) -> Self {
+        let total = IPV4_HEADER_LEN + payload_len;
+        assert!(total <= u16::MAX as usize, "IPv4 datagram too large");
+        Self {
+            src,
+            dst,
+            protocol,
+            total_len: total as u16,
+            ttl: 64,
+            ident: 0,
+        }
+    }
+
+    /// Parses and checksum-verifies a header from the start of `data`.
+    /// Returns `None` on truncation, wrong version/IHL, or bad checksum.
+    pub fn parse(data: &[u8]) -> Option<Self> {
+        if data.len() < IPV4_HEADER_LEN {
+            return None;
+        }
+        let header = &data[..IPV4_HEADER_LEN];
+        if header[0] != 0x45 {
+            return None; // version 4, IHL 5 only
+        }
+        if !checksum::verify(header) {
+            return None;
+        }
+        Some(Self {
+            src: [header[12], header[13], header[14], header[15]],
+            dst: [header[16], header[17], header[18], header[19]],
+            protocol: header[9],
+            total_len: u16::from_be_bytes([header[2], header[3]]),
+            ttl: header[8],
+            ident: u16::from_be_bytes([header[4], header[5]]),
+        })
+    }
+
+    /// Writes the header (with checksum) to the start of `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`IPV4_HEADER_LEN`].
+    pub fn write(&self, buf: &mut [u8]) {
+        assert!(buf.len() >= IPV4_HEADER_LEN, "buffer too short");
+        let header = &mut buf[..IPV4_HEADER_LEN];
+        header.fill(0);
+        header[0] = 0x45;
+        header[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        header[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        header[8] = self.ttl;
+        header[9] = self.protocol;
+        header[12..16].copy_from_slice(&self.src);
+        header[16..20].copy_from_slice(&self.dst);
+        let csum = checksum::internet_checksum(header);
+        header[10..12].copy_from_slice(&csum.to_be_bytes());
+    }
+
+    /// Length of the payload following this header.
+    pub fn payload_len(&self) -> usize {
+        (self.total_len as usize).saturating_sub(IPV4_HEADER_LEN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_with_checksum() {
+        let hdr = Ipv4Header::new([192, 168, 0, 1], [192, 168, 0, 2], PROTO_UDP, 64);
+        let mut buf = [0u8; IPV4_HEADER_LEN];
+        hdr.write(&mut buf);
+        let parsed = Ipv4Header::parse(&buf).unwrap();
+        assert_eq!(parsed.src, hdr.src);
+        assert_eq!(parsed.dst, hdr.dst);
+        assert_eq!(parsed.protocol, PROTO_UDP);
+        assert_eq!(parsed.payload_len(), 64);
+    }
+
+    #[test]
+    fn corrupted_header_fails_checksum() {
+        let hdr = Ipv4Header::new([1, 2, 3, 4], [5, 6, 7, 8], PROTO_UDP, 8);
+        let mut buf = [0u8; IPV4_HEADER_LEN];
+        hdr.write(&mut buf);
+        buf[13] ^= 0xff;
+        assert_eq!(Ipv4Header::parse(&buf), None);
+    }
+
+    #[test]
+    fn truncated_or_wrong_version_rejected() {
+        assert_eq!(Ipv4Header::parse(&[0x45; 10]), None);
+        let mut buf = [0u8; IPV4_HEADER_LEN];
+        Ipv4Header::new([0; 4], [0; 4], PROTO_UDP, 0).write(&mut buf);
+        buf[0] = 0x46; // IHL 6: options unsupported
+        assert_eq!(Ipv4Header::parse(&buf), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_payload_panics() {
+        Ipv4Header::new([0; 4], [0; 4], PROTO_UDP, 70_000);
+    }
+}

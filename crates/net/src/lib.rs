@@ -1,0 +1,33 @@
+//! Packet and frame model for `simnet`.
+//!
+//! Packets in the simulator carry **real bytes**: what `EtherLoadGen`
+//! injects, what the NIC DMA-writes into ring buffers, and what the PCAP
+//! capture taps record are all the same buffers. This keeps trace capture
+//! and replay honest — a trace captured from a simulated run is a valid
+//! `.pcap` file readable by wireshark/tcpdump, and real `.pcap` files can be
+//! replayed into the simulator.
+//!
+//! Modules:
+//!
+//! * [`mac`] — MAC addresses.
+//! * [`ethernet`] — Ethernet II framing.
+//! * [`ipv4`] / [`udp`] — minimal L3/L4 headers with checksums.
+//! * [`packet`] — the [`Packet`] buffer and [`PacketBuilder`].
+//! * [`timestamp`] — the load generator's in-payload timestamps (§IV).
+//! * [`pcap`] — PCAP file reading/writing (tcpdump/dpdk-pdump stand-in).
+//! * [`proto`] — application protocols (memcached-over-UDP).
+
+pub mod checksum;
+pub mod ethernet;
+pub mod ipv4;
+pub mod mac;
+pub mod packet;
+pub mod pcap;
+pub mod proto;
+pub mod tcp;
+pub mod timestamp;
+pub mod udp;
+
+pub use ethernet::{EtherType, EthernetHeader, ETHERNET_HEADER_LEN, MAX_FRAME_LEN, MIN_FRAME_LEN};
+pub use mac::MacAddr;
+pub use packet::{Packet, PacketBuilder};

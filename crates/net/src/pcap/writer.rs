@@ -1,0 +1,139 @@
+//! PCAP file writing.
+
+use std::io::Write;
+
+use simnet_sim::tick::{Tick, S};
+
+use super::{PcapError, Resolution, DEFAULT_SNAPLEN, LINKTYPE_ETHERNET};
+
+/// Writes a PCAP capture stream.
+///
+/// Generic writers can be passed by value or as `&mut W` (the standard
+/// `impl Write for &mut W` applies). The global header is emitted on
+/// construction; each [`PcapWriter::write_packet`] appends one record.
+#[derive(Debug)]
+pub struct PcapWriter<W: Write> {
+    inner: W,
+    resolution: Resolution,
+    snaplen: u32,
+    packets: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Creates a nanosecond-resolution writer and emits the global header.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if writing the header fails.
+    pub fn new(inner: W) -> Result<Self, PcapError> {
+        Self::with_resolution(inner, Resolution::Nanos)
+    }
+
+    /// Creates a writer with an explicit timestamp resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if writing the header fails.
+    pub fn with_resolution(mut inner: W, resolution: Resolution) -> Result<Self, PcapError> {
+        let snaplen = DEFAULT_SNAPLEN;
+        inner.write_all(&resolution.magic().to_le_bytes())?;
+        inner.write_all(&2u16.to_le_bytes())?; // version major
+        inner.write_all(&4u16.to_le_bytes())?; // version minor
+        inner.write_all(&0i32.to_le_bytes())?; // thiszone
+        inner.write_all(&0u32.to_le_bytes())?; // sigfigs
+        inner.write_all(&snaplen.to_le_bytes())?;
+        inner.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+        Ok(Self {
+            inner,
+            resolution,
+            snaplen,
+            packets: 0,
+        })
+    }
+
+    /// Appends one packet record captured at simulated time `tick`.
+    ///
+    /// Frames longer than the snap length are truncated on disk (the
+    /// original length is still recorded), exactly as tcpdump would.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying write fails.
+    pub fn write_packet(&mut self, tick: Tick, frame: &[u8]) -> Result<(), PcapError> {
+        let secs = (tick / S) as u32;
+        let subsec = ((tick % S) / self.resolution.ticks_per_unit()) as u32;
+        let orig_len = frame.len() as u32;
+        let incl_len = orig_len.min(self.snaplen);
+        self.inner.write_all(&secs.to_le_bytes())?;
+        self.inner.write_all(&subsec.to_le_bytes())?;
+        self.inner.write_all(&incl_len.to_le_bytes())?;
+        self.inner.write_all(&orig_len.to_le_bytes())?;
+        self.inner.write_all(&frame[..incl_len as usize])?;
+        self.packets += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn packet_count(&self) -> u64 {
+        self.packets
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if flushing fails.
+    pub fn into_inner(mut self) -> Result<W, PcapError> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_is_24_bytes_with_nanos_magic() {
+        let mut buf = Vec::new();
+        PcapWriter::new(&mut buf).unwrap();
+        assert_eq!(buf.len(), 24);
+        assert_eq!(
+            u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]),
+            super::super::MAGIC_NANOS
+        );
+    }
+
+    #[test]
+    fn micros_resolution_magic() {
+        let mut buf = Vec::new();
+        PcapWriter::with_resolution(&mut buf, Resolution::Micros).unwrap();
+        assert_eq!(
+            u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]),
+            super::super::MAGIC_MICROS
+        );
+    }
+
+    #[test]
+    fn record_layout() {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf).unwrap();
+        // 2 s + 5 ns.
+        w.write_packet(2 * S + 5_000, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(w.packet_count(), 1);
+        drop(w);
+        let rec = &buf[24..];
+        assert_eq!(u32::from_le_bytes(rec[0..4].try_into().unwrap()), 2);
+        assert_eq!(u32::from_le_bytes(rec[4..8].try_into().unwrap()), 5);
+        assert_eq!(u32::from_le_bytes(rec[8..12].try_into().unwrap()), 4);
+        assert_eq!(u32::from_le_bytes(rec[12..16].try_into().unwrap()), 4);
+        assert_eq!(&rec[16..20], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn into_inner_returns_writer() {
+        let w = PcapWriter::new(Vec::new()).unwrap();
+        let buf = w.into_inner().unwrap();
+        assert_eq!(buf.len(), 24);
+    }
+}

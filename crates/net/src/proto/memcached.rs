@@ -1,0 +1,374 @@
+//! Memcached-over-UDP wire protocol.
+//!
+//! The paper's memcached workload sends GET and SET requests over UDP with
+//! keys/values whose lengths follow a Zipfian distribution, and the load
+//! generator "tracks a map of outstanding requests using the request ID
+//! field in the Memcached request packet" (§VI.A). This module implements:
+//!
+//! * the standard 8-byte memcached UDP *frame header* (request id,
+//!   sequence number, datagram count, reserved), and
+//! * a compact binary request/response encoding (opcode, key, value).
+//!
+//! Requests must fit one UDP datagram (the paper replays single-datagram
+//! UDP traces; multi-datagram responses are out of scope and rejected).
+
+/// Canonical name of the `i`-th key in the benchmark key space — shared by
+/// the server warm-up and the load-generator client so GETs hit.
+pub fn nth_key(i: u64) -> Vec<u8> {
+    format!("key:{i:012}").into_bytes()
+}
+
+/// The memcached UDP frame header prepended to every datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UdpFrameHeader {
+    /// Request id used to correlate responses with requests.
+    pub request_id: u16,
+    /// Sequence number of this datagram within the message.
+    pub seq: u16,
+    /// Total datagrams in the message.
+    pub total: u16,
+}
+
+/// Length of the UDP frame header.
+pub const UDP_FRAME_HEADER_LEN: usize = 8;
+
+impl UdpFrameHeader {
+    /// A single-datagram message header.
+    pub fn single(request_id: u16) -> Self {
+        Self {
+            request_id,
+            seq: 0,
+            total: 1,
+        }
+    }
+
+    /// Parses from the start of `data`.
+    pub fn parse(data: &[u8]) -> Option<Self> {
+        if data.len() < UDP_FRAME_HEADER_LEN {
+            return None;
+        }
+        Some(Self {
+            request_id: u16::from_be_bytes([data[0], data[1]]),
+            seq: u16::from_be_bytes([data[2], data[3]]),
+            total: u16::from_be_bytes([data[4], data[5]]),
+        })
+    }
+
+    /// Writes to the start of `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`UDP_FRAME_HEADER_LEN`].
+    pub fn write(&self, buf: &mut [u8]) {
+        assert!(buf.len() >= UDP_FRAME_HEADER_LEN, "buffer too short");
+        buf[0..2].copy_from_slice(&self.request_id.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.seq.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.total.to_be_bytes());
+        buf[6..8].fill(0);
+    }
+}
+
+/// A memcached request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Fetch the value stored under `key`.
+    Get {
+        /// The key to look up.
+        key: Vec<u8>,
+    },
+    /// Store `value` under `key`.
+    Set {
+        /// The key to store under.
+        key: Vec<u8>,
+        /// The value to store.
+        value: Vec<u8>,
+    },
+}
+
+/// A memcached response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// GET hit with the stored value.
+    Hit {
+        /// The stored value.
+        value: Vec<u8>,
+    },
+    /// GET miss.
+    Miss,
+    /// SET acknowledged.
+    Stored,
+}
+
+const OP_GET: u8 = 0x00;
+const OP_SET: u8 = 0x01;
+const OP_HIT: u8 = 0x80;
+const OP_MISS: u8 = 0x81;
+const OP_STORED: u8 = 0x82;
+
+/// Error decoding a memcached message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the declared key/value lengths.
+    Truncated,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated memcached message"),
+            DecodeError::BadOpcode(op) => write!(f, "unknown memcached opcode 0x{op:02x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Request {
+    /// The request's key.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            Request::Get { key } => key,
+            Request::Set { key, .. } => key,
+        }
+    }
+
+    /// Encoded length: opcode + key len (u16) + value len (u32) + data.
+    pub fn encoded_len(&self) -> usize {
+        7 + match self {
+            Request::Get { key } => key.len(),
+            Request::Set { key, value } => key.len() + value.len(),
+        }
+    }
+
+    /// Encodes to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        match self {
+            Request::Get { key } => {
+                buf.push(OP_GET);
+                buf.extend_from_slice(&(key.len() as u16).to_be_bytes());
+                buf.extend_from_slice(&0u32.to_be_bytes());
+                buf.extend_from_slice(key);
+            }
+            Request::Set { key, value } => {
+                buf.push(OP_SET);
+                buf.extend_from_slice(&(key.len() as u16).to_be_bytes());
+                buf.extend_from_slice(&(value.len() as u32).to_be_bytes());
+                buf.extend_from_slice(key);
+                buf.extend_from_slice(value);
+            }
+        }
+        buf
+    }
+
+    /// Decodes from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for truncated input or unknown opcodes.
+    pub fn decode(data: &[u8]) -> Result<Self, DecodeError> {
+        if data.len() < 7 {
+            return Err(DecodeError::Truncated);
+        }
+        let op = data[0];
+        let key_len = u16::from_be_bytes([data[1], data[2]]) as usize;
+        let value_len = u32::from_be_bytes([data[3], data[4], data[5], data[6]]) as usize;
+        let body = &data[7..];
+        if body.len() < key_len + value_len {
+            return Err(DecodeError::Truncated);
+        }
+        let key = body[..key_len].to_vec();
+        match op {
+            OP_GET => Ok(Request::Get { key }),
+            OP_SET => Ok(Request::Set {
+                key,
+                value: body[key_len..key_len + value_len].to_vec(),
+            }),
+            other => Err(DecodeError::BadOpcode(other)),
+        }
+    }
+}
+
+impl Response {
+    /// Encoded length.
+    pub fn encoded_len(&self) -> usize {
+        5 + match self {
+            Response::Hit { value } => value.len(),
+            _ => 0,
+        }
+    }
+
+    /// Encodes to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        match self {
+            Response::Hit { value } => {
+                buf.push(OP_HIT);
+                buf.extend_from_slice(&(value.len() as u32).to_be_bytes());
+                buf.extend_from_slice(value);
+            }
+            Response::Miss => {
+                buf.push(OP_MISS);
+                buf.extend_from_slice(&0u32.to_be_bytes());
+            }
+            Response::Stored => {
+                buf.push(OP_STORED);
+                buf.extend_from_slice(&0u32.to_be_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Decodes from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for truncated input or unknown opcodes.
+    pub fn decode(data: &[u8]) -> Result<Self, DecodeError> {
+        if data.len() < 5 {
+            return Err(DecodeError::Truncated);
+        }
+        let value_len = u32::from_be_bytes([data[1], data[2], data[3], data[4]]) as usize;
+        match data[0] {
+            OP_HIT => {
+                let body = &data[5..];
+                if body.len() < value_len {
+                    return Err(DecodeError::Truncated);
+                }
+                Ok(Response::Hit {
+                    value: body[..value_len].to_vec(),
+                })
+            }
+            OP_MISS => Ok(Response::Miss),
+            OP_STORED => Ok(Response::Stored),
+            other => Err(DecodeError::BadOpcode(other)),
+        }
+    }
+}
+
+/// Encodes a full memcached UDP datagram payload: frame header + request.
+pub fn encode_request_datagram(request_id: u16, request: &Request) -> Vec<u8> {
+    let mut buf = vec![0u8; UDP_FRAME_HEADER_LEN];
+    UdpFrameHeader::single(request_id).write(&mut buf);
+    buf.extend_from_slice(&request.encode());
+    buf
+}
+
+/// Encodes a full memcached UDP datagram payload: frame header + response.
+pub fn encode_response_datagram(request_id: u16, response: &Response) -> Vec<u8> {
+    let mut buf = vec![0u8; UDP_FRAME_HEADER_LEN];
+    UdpFrameHeader::single(request_id).write(&mut buf);
+    buf.extend_from_slice(&response.encode());
+    buf
+}
+
+/// Decodes a datagram payload into its frame header and request.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Truncated`] if the frame header is incomplete.
+pub fn decode_request_datagram(data: &[u8]) -> Result<(UdpFrameHeader, Request), DecodeError> {
+    let header = UdpFrameHeader::parse(data).ok_or(DecodeError::Truncated)?;
+    let request = Request::decode(&data[UDP_FRAME_HEADER_LEN..])?;
+    Ok((header, request))
+}
+
+/// Decodes a datagram payload into its frame header and response.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Truncated`] if the frame header is incomplete.
+pub fn decode_response_datagram(data: &[u8]) -> Result<(UdpFrameHeader, Response), DecodeError> {
+    let header = UdpFrameHeader::parse(data).ok_or(DecodeError::Truncated)?;
+    let response = Response::decode(&data[UDP_FRAME_HEADER_LEN..])?;
+    Ok((header, response))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_header_round_trip() {
+        let h = UdpFrameHeader::single(0xBEEF);
+        let mut buf = [0u8; 8];
+        h.write(&mut buf);
+        assert_eq!(UdpFrameHeader::parse(&buf), Some(h));
+        assert_eq!(h.total, 1);
+    }
+
+    #[test]
+    fn get_round_trip() {
+        let req = Request::Get {
+            key: b"user:1234".to_vec(),
+        };
+        let encoded = req.encode();
+        assert_eq!(encoded.len(), req.encoded_len());
+        assert_eq!(Request::decode(&encoded).unwrap(), req);
+    }
+
+    #[test]
+    fn set_round_trip() {
+        let req = Request::Set {
+            key: b"k".to_vec(),
+            value: vec![7u8; 100],
+        };
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn response_round_trips() {
+        for resp in [
+            Response::Hit {
+                value: vec![1, 2, 3],
+            },
+            Response::Miss,
+            Response::Stored,
+        ] {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncated_inputs_error() {
+        assert_eq!(Request::decode(&[]), Err(DecodeError::Truncated));
+        let req = Request::Set {
+            key: b"key".to_vec(),
+            value: b"value".to_vec(),
+        };
+        let encoded = req.encode();
+        assert_eq!(
+            Request::decode(&encoded[..encoded.len() - 1]),
+            Err(DecodeError::Truncated)
+        );
+        assert_eq!(Response::decode(&[0x80, 0, 0]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bad_opcode_errors() {
+        let mut encoded = Request::Get { key: vec![] }.encode();
+        encoded[0] = 0x77;
+        assert_eq!(Request::decode(&encoded), Err(DecodeError::BadOpcode(0x77)));
+    }
+
+    #[test]
+    fn datagram_round_trip() {
+        let req = Request::Get {
+            key: b"hotkey".to_vec(),
+        };
+        let dgram = encode_request_datagram(42, &req);
+        let (h, decoded) = decode_request_datagram(&dgram).unwrap();
+        assert_eq!(h.request_id, 42);
+        assert_eq!(decoded, req);
+
+        let resp = Response::Hit {
+            value: vec![9; 50],
+        };
+        let dgram = encode_response_datagram(42, &resp);
+        let (h, decoded) = decode_response_datagram(&dgram).unwrap();
+        assert_eq!(h.request_id, 42);
+        assert_eq!(decoded, resp);
+    }
+}

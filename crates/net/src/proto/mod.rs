@@ -1,0 +1,3 @@
+//! Application-level protocols carried over the simulated network.
+
+pub mod memcached;

@@ -1,0 +1,313 @@
+//! A minimal TCP segment header and flags.
+//!
+//! §V of the paper defers TCP in the load generator to future work
+//! ("adding support for TCP would require implementing a TCP state
+//! machine inside EtherLoadGen"). This module provides the wire format
+//! that extension builds on: a fixed 20-byte header (no options beyond
+//! padding), with the IPv4 pseudo-header checksum.
+
+use crate::checksum;
+use crate::ipv4::Ipv4Addr;
+
+/// Length of an options-free TCP header.
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// IP protocol number for TCP.
+pub const PROTO_TCP: u8 = 6;
+
+/// TCP flag bits (subset).
+pub mod flags {
+    /// Final segment from sender.
+    pub const FIN: u8 = 0x01;
+    /// Synchronize sequence numbers.
+    pub const SYN: u8 = 0x02;
+    /// Reset the connection.
+    pub const RST: u8 = 0x04;
+    /// Push buffered data to the application.
+    pub const PSH: u8 = 0x08;
+    /// Acknowledgment field is significant.
+    pub const ACK: u8 = 0x10;
+}
+
+/// A parsed options-free TCP header.
+///
+/// ```
+/// use simnet_net::tcp::{flags, TcpHeader};
+/// let hdr = TcpHeader::new(5001, 40000, 1000, 2000, flags::ACK, 65_535);
+/// let mut buf = [0u8; 20];
+/// hdr.write(&mut buf, None);
+/// let parsed = TcpHeader::parse(&buf).expect("valid");
+/// assert_eq!(parsed.seq, 1000);
+/// assert!(parsed.has(flags::ACK));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte.
+    pub seq: u32,
+    /// Cumulative acknowledgment number.
+    pub ack: u32,
+    /// Flag bits.
+    pub flags: u8,
+    /// Receive window.
+    pub window: u16,
+}
+
+impl TcpHeader {
+    /// Creates a header.
+    pub fn new(src_port: u16, dst_port: u16, seq: u32, ack: u32, flags: u8, window: u16) -> Self {
+        Self {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window,
+        }
+    }
+
+    /// Whether every bit of `mask` is set.
+    pub fn has(&self, mask: u8) -> bool {
+        self.flags & mask == mask
+    }
+
+    /// Parses from the start of `data`. Returns `None` on truncation or a
+    /// data offset other than 5 words (options are not modeled).
+    pub fn parse(data: &[u8]) -> Option<Self> {
+        if data.len() < TCP_HEADER_LEN {
+            return None;
+        }
+        if data[12] >> 4 != 5 {
+            return None; // options unsupported
+        }
+        Some(Self {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            seq: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+            ack: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+            flags: data[13],
+            window: u16::from_be_bytes([data[14], data[15]]),
+        })
+    }
+
+    /// Writes the header to `buf`. If `pseudo` supplies addresses and the
+    /// payload, the TCP checksum is computed; otherwise it is left 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`TCP_HEADER_LEN`].
+    pub fn write(&self, buf: &mut [u8], pseudo: Option<(Ipv4Addr, Ipv4Addr, &[u8])>) {
+        assert!(buf.len() >= TCP_HEADER_LEN, "buffer too short");
+        let header = &mut buf[..TCP_HEADER_LEN];
+        header.fill(0);
+        header[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        header[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        header[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        header[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        header[12] = 5 << 4; // data offset: 5 words
+        header[13] = self.flags;
+        header[14..16].copy_from_slice(&self.window.to_be_bytes());
+        if let Some((src, dst, payload)) = pseudo {
+            let total = (TCP_HEADER_LEN + payload.len()) as u16;
+            let len_bytes = total.to_be_bytes();
+            let pseudo_hdr = [
+                src[0], src[1], src[2], src[3], dst[0], dst[1], dst[2], dst[3], 0, PROTO_TCP,
+                len_bytes[0], len_bytes[1],
+            ];
+            let csum = checksum::internet_checksum_parts(&[&pseudo_hdr, header, payload]);
+            buf[16..18].copy_from_slice(&csum.to_be_bytes());
+        }
+    }
+
+    /// Verifies a received segment (`header_bytes` includes the
+    /// transmitted checksum).
+    pub fn verify(src: Ipv4Addr, dst: Ipv4Addr, header_bytes: &[u8], payload: &[u8]) -> bool {
+        if header_bytes.len() < TCP_HEADER_LEN {
+            return false;
+        }
+        let total = (TCP_HEADER_LEN + payload.len()) as u16;
+        let len_bytes = total.to_be_bytes();
+        let pseudo = [
+            src[0], src[1], src[2], src[3], dst[0], dst[1], dst[2], dst[3], 0, PROTO_TCP,
+            len_bytes[0], len_bytes[1],
+        ];
+        checksum::internet_checksum_parts(&[&pseudo, &header_bytes[..TCP_HEADER_LEN], payload])
+            == 0
+    }
+}
+
+/// Builds a complete Ethernet + IPv4 + TCP frame. The frame is padded to
+/// the 64-byte Ethernet minimum if needed; the IP total length keeps the
+/// true datagram size, so parsers ignore the padding.
+#[allow(clippy::too_many_arguments)]
+pub fn build_tcp_frame(
+    id: u64,
+    src_mac: crate::MacAddr,
+    dst_mac: crate::MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    header: TcpHeader,
+    payload: &[u8],
+) -> crate::Packet {
+    use crate::ethernet::{EtherType, EthernetHeader, ETHERNET_HEADER_LEN};
+    use crate::ipv4::{Ipv4Header, IPV4_HEADER_LEN};
+    use crate::MIN_FRAME_LEN;
+
+    let natural = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN + payload.len();
+    let total = natural.max(MIN_FRAME_LEN);
+    let mut data = vec![0u8; total];
+    EthernetHeader {
+        dst: dst_mac,
+        src: src_mac,
+        ethertype: EtherType::Ipv4,
+    }
+    .write(&mut data);
+    Ipv4Header::new(src_ip, dst_ip, PROTO_TCP, TCP_HEADER_LEN + payload.len())
+        .write(&mut data[ETHERNET_HEADER_LEN..]);
+    let l4 = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN;
+    data[l4 + TCP_HEADER_LEN..l4 + TCP_HEADER_LEN + payload.len()].copy_from_slice(payload);
+    let (head, tail) = data.split_at_mut(l4 + TCP_HEADER_LEN);
+    header.write(&mut head[l4..], Some((src_ip, dst_ip, &tail[..payload.len()])));
+    crate::Packet::from_bytes(id, data)
+}
+
+/// Parses a frame as TCP-in-IPv4: returns `(ip, tcp, payload)` with the
+/// checksum verified, or `None` on any mismatch.
+pub fn parse_tcp_frame(
+    packet: &crate::Packet,
+) -> Option<(crate::ipv4::Ipv4Header, TcpHeader, &[u8])> {
+    use crate::ethernet::EtherType;
+    use crate::ipv4::{Ipv4Header, IPV4_HEADER_LEN};
+
+    let eth = packet.ethernet()?;
+    if eth.ethertype != EtherType::Ipv4 {
+        return None;
+    }
+    let l3 = packet.l2_payload();
+    let ip = Ipv4Header::parse(l3)?;
+    if ip.protocol != PROTO_TCP {
+        return None;
+    }
+    let l4 = l3.get(IPV4_HEADER_LEN..ip.total_len as usize)?;
+    let tcp = TcpHeader::parse(l4)?;
+    let payload = l4.get(TCP_HEADER_LEN..)?;
+    if !TcpHeader::verify(ip.src, ip.dst, &l4[..TCP_HEADER_LEN], payload) {
+        return None;
+    }
+    Some((ip, tcp, payload))
+}
+
+/// Sequence-number arithmetic: `a < b` in modulo-2^32 space.
+#[inline]
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = [10, 0, 0, 1];
+    const DST: Ipv4Addr = [10, 0, 0, 2];
+
+    #[test]
+    fn round_trip_with_checksum() {
+        let payload = b"stream data";
+        let hdr = TcpHeader::new(40_000, 5_001, 12_345, 67_890, flags::ACK | flags::PSH, 8_192);
+        let mut buf = [0u8; TCP_HEADER_LEN];
+        hdr.write(&mut buf, Some((SRC, DST, payload)));
+        let parsed = TcpHeader::parse(&buf).unwrap();
+        assert_eq!(parsed, TcpHeader { ..hdr });
+        assert!(TcpHeader::verify(SRC, DST, &buf, payload));
+        let mut bad = *payload;
+        bad[0] ^= 1;
+        assert!(!TcpHeader::verify(SRC, DST, &buf, &bad));
+    }
+
+    #[test]
+    fn flags_are_individually_testable() {
+        let hdr = TcpHeader::new(1, 2, 0, 0, flags::SYN | flags::ACK, 0);
+        assert!(hdr.has(flags::SYN));
+        assert!(hdr.has(flags::ACK));
+        assert!(hdr.has(flags::SYN | flags::ACK));
+        assert!(!hdr.has(flags::FIN));
+    }
+
+    #[test]
+    fn rejects_options_and_truncation() {
+        let hdr = TcpHeader::new(1, 2, 3, 4, 0, 5);
+        let mut buf = [0u8; TCP_HEADER_LEN];
+        hdr.write(&mut buf, None);
+        assert!(TcpHeader::parse(&buf[..19]).is_none());
+        buf[12] = 6 << 4;
+        assert!(TcpHeader::parse(&buf).is_none());
+    }
+
+    #[test]
+    fn frame_build_parse_round_trip() {
+        use crate::MacAddr;
+        let payload = vec![0xAB; 1000];
+        let hdr = TcpHeader::new(40_000, 5_001, 777, 0, flags::ACK | flags::PSH, 65_000);
+        let pkt = build_tcp_frame(
+            3,
+            MacAddr::simulated(2),
+            MacAddr::simulated(1),
+            SRC,
+            DST,
+            hdr,
+            &payload,
+        );
+        let (ip, tcp, got) = parse_tcp_frame(&pkt).expect("parses");
+        assert_eq!(ip.src, SRC);
+        assert_eq!(tcp.seq, 777);
+        assert_eq!(got, &payload[..]);
+    }
+
+    #[test]
+    fn short_frames_pad_without_corrupting_payload() {
+        use crate::MacAddr;
+        let pkt = build_tcp_frame(
+            0,
+            MacAddr::simulated(2),
+            MacAddr::simulated(1),
+            SRC,
+            DST,
+            TcpHeader::new(1, 2, 0, 0, flags::SYN, 4_096),
+            b"",
+        );
+        assert_eq!(pkt.len(), crate::MIN_FRAME_LEN);
+        let (_, tcp, payload) = parse_tcp_frame(&pkt).expect("padded SYN parses");
+        assert!(tcp.has(flags::SYN));
+        assert!(payload.is_empty(), "padding is not payload");
+    }
+
+    #[test]
+    fn corrupted_frame_fails_parse() {
+        use crate::MacAddr;
+        let mut pkt = build_tcp_frame(
+            0,
+            MacAddr::simulated(2),
+            MacAddr::simulated(1),
+            SRC,
+            DST,
+            TcpHeader::new(1, 2, 9, 9, flags::ACK, 100),
+            b"abcdefgh",
+        );
+        // Corrupt a payload byte (the trailing Ethernet padding is outside
+        // the checksum, so the last frame byte would not do).
+        let payload_start = 14 + 20 + TCP_HEADER_LEN;
+        pkt.bytes_mut()[payload_start + 3] ^= 0xFF;
+        assert!(parse_tcp_frame(&pkt).is_none());
+    }
+
+    #[test]
+    fn seq_comparison_wraps() {
+        assert!(seq_lt(1, 2));
+        assert!(!seq_lt(2, 1));
+        assert!(seq_lt(u32::MAX, 1), "wraparound: MAX < 1");
+        assert!(!seq_lt(1, u32::MAX));
+    }
+}

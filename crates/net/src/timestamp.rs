@@ -1,0 +1,101 @@
+//! In-payload transmit timestamps.
+//!
+//! In synthetic mode, `EtherLoadGen` "adds a timestamp to each outgoing
+//! packet at a configurable offset and compares the timestamp with the
+//! current tick on incoming packets to compute per-packet round-trip
+//! latency" (§IV). The timestamp is a little-endian 64-bit tick count
+//! preceded by a 16-bit magic so that reflected packets can be validated.
+
+use simnet_sim::Tick;
+
+use crate::packet::Packet;
+
+/// Bytes occupied by an embedded timestamp (magic + tick).
+pub const TIMESTAMP_LEN: usize = 10;
+
+/// Default byte offset (from frame start) at which timestamps are stored:
+/// right after the 14-byte Ethernet header.
+pub const DEFAULT_OFFSET: usize = 14;
+
+const MAGIC: [u8; 2] = [0x5A, 0x5A];
+
+/// Writes a transmit timestamp into `packet` at `offset`.
+///
+/// Returns `false` (and leaves the packet unchanged) if the frame is too
+/// short to hold the timestamp at that offset.
+pub fn write_timestamp(packet: &mut Packet, offset: usize, tick: Tick) -> bool {
+    let bytes = packet.bytes_mut();
+    let Some(end) = offset.checked_add(TIMESTAMP_LEN) else {
+        return false;
+    };
+    if bytes.len() < end {
+        return false;
+    }
+    bytes[offset..offset + 2].copy_from_slice(&MAGIC);
+    bytes[offset + 2..end].copy_from_slice(&tick.to_le_bytes());
+    true
+}
+
+/// Reads a timestamp previously written at `offset`, if present and valid.
+pub fn read_timestamp(packet: &Packet, offset: usize) -> Option<Tick> {
+    let bytes = packet.bytes();
+    let end = offset.checked_add(TIMESTAMP_LEN)?;
+    if bytes.len() < end || bytes[offset..offset + 2] != MAGIC {
+        return None;
+    }
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[offset + 2..end]);
+    Some(Tick::from_le_bytes(raw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketBuilder;
+
+    fn packet(len: usize) -> Packet {
+        PacketBuilder::new().frame_len(len).build(0)
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut pkt = packet(64);
+        assert!(write_timestamp(&mut pkt, DEFAULT_OFFSET, 123_456_789));
+        assert_eq!(read_timestamp(&pkt, DEFAULT_OFFSET), Some(123_456_789));
+    }
+
+    #[test]
+    fn wrong_offset_reads_nothing() {
+        let mut pkt = packet(64);
+        write_timestamp(&mut pkt, 14, 42);
+        assert_eq!(read_timestamp(&pkt, 20), None);
+    }
+
+    #[test]
+    fn too_short_frame_is_rejected() {
+        let mut pkt = packet(20);
+        assert!(!write_timestamp(&mut pkt, 14, 42));
+        assert_eq!(read_timestamp(&pkt, 14), None);
+    }
+
+    #[test]
+    fn offset_overflow_is_safe() {
+        let mut pkt = packet(64);
+        assert!(!write_timestamp(&mut pkt, usize::MAX - 2, 42));
+        assert_eq!(read_timestamp(&pkt, usize::MAX - 2), None);
+    }
+
+    #[test]
+    fn unstamped_packet_reads_none() {
+        let pkt = packet(64);
+        assert_eq!(read_timestamp(&pkt, DEFAULT_OFFSET), None);
+    }
+
+    #[test]
+    fn survives_macswap_forwarding() {
+        let mut pkt = packet(64);
+        write_timestamp(&mut pkt, DEFAULT_OFFSET, 99);
+        pkt.macswap();
+        assert_eq!(read_timestamp(&pkt, DEFAULT_OFFSET), Some(99));
+    }
+}

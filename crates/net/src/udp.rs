@@ -1,0 +1,173 @@
+//! A UDP header, with the IPv4 pseudo-header checksum.
+
+use crate::checksum;
+use crate::ipv4::{Ipv4Addr, PROTO_UDP};
+
+/// Length of a UDP header.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A parsed UDP header.
+///
+/// ```
+/// use simnet_net::udp::UdpHeader;
+/// let hdr = UdpHeader::new(11211, 40000, 32);
+/// let mut buf = [0u8; 8];
+/// hdr.write(&mut buf, None);
+/// let parsed = UdpHeader::parse(&buf).expect("valid");
+/// assert_eq!(parsed.src_port, 11211);
+/// assert_eq!(parsed.payload_len(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length (header + payload).
+    pub length: u16,
+    /// Checksum (0 = not computed, legal for IPv4 UDP).
+    pub csum: u16,
+}
+
+impl UdpHeader {
+    /// Creates a header for `payload_len` bytes of payload, checksum unset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the datagram would exceed `u16::MAX`.
+    pub fn new(src_port: u16, dst_port: u16, payload_len: usize) -> Self {
+        let length = UDP_HEADER_LEN + payload_len;
+        assert!(length <= u16::MAX as usize, "UDP datagram too large");
+        Self {
+            src_port,
+            dst_port,
+            length: length as u16,
+            csum: 0,
+        }
+    }
+
+    /// Parses a header from the start of `data`. Does not verify the
+    /// checksum (callers with the pseudo-header use [`UdpHeader::verify`]).
+    pub fn parse(data: &[u8]) -> Option<Self> {
+        if data.len() < UDP_HEADER_LEN {
+            return None;
+        }
+        Some(Self {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            length: u16::from_be_bytes([data[4], data[5]]),
+            csum: u16::from_be_bytes([data[6], data[7]]),
+        })
+    }
+
+    /// Writes the header to `buf`. If `pseudo` supplies the IPv4 addresses
+    /// and the payload, the UDP checksum is computed; otherwise it is 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`UDP_HEADER_LEN`].
+    pub fn write(&self, buf: &mut [u8], pseudo: Option<(Ipv4Addr, Ipv4Addr, &[u8])>) {
+        assert!(buf.len() >= UDP_HEADER_LEN, "buffer too short");
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.length.to_be_bytes());
+        buf[6..8].fill(0);
+        if let Some((src, dst, payload)) = pseudo {
+            let csum = self.pseudo_checksum(src, dst, &buf[..UDP_HEADER_LEN], payload);
+            // All-zero computed checksum is transmitted as 0xffff.
+            let csum = if csum == 0 { 0xffff } else { csum };
+            buf[6..8].copy_from_slice(&csum.to_be_bytes());
+        }
+    }
+
+    /// Length of the payload following this header.
+    pub fn payload_len(&self) -> usize {
+        (self.length as usize).saturating_sub(UDP_HEADER_LEN)
+    }
+
+    /// Verifies a received datagram (`header_bytes` includes the transmitted
+    /// checksum). Checksum 0 means "not computed" and always verifies.
+    pub fn verify(src: Ipv4Addr, dst: Ipv4Addr, header_bytes: &[u8], payload: &[u8]) -> bool {
+        if header_bytes.len() < UDP_HEADER_LEN {
+            return false;
+        }
+        let transmitted = u16::from_be_bytes([header_bytes[6], header_bytes[7]]);
+        if transmitted == 0 {
+            return true;
+        }
+        let pseudo = Self::pseudo_header(src, dst, header_bytes[4], header_bytes[5]);
+        checksum::internet_checksum_parts(&[&pseudo, &header_bytes[..UDP_HEADER_LEN], payload])
+            == 0
+    }
+
+    fn pseudo_checksum(
+        &self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        header_zero_csum: &[u8],
+        payload: &[u8],
+    ) -> u16 {
+        let len_bytes = self.length.to_be_bytes();
+        let pseudo = Self::pseudo_header(src, dst, len_bytes[0], len_bytes[1]);
+        checksum::internet_checksum_parts(&[&pseudo, header_zero_csum, payload])
+    }
+
+    fn pseudo_header(src: Ipv4Addr, dst: Ipv4Addr, len_hi: u8, len_lo: u8) -> [u8; 12] {
+        [
+            src[0], src[1], src[2], src[3], dst[0], dst[1], dst[2], dst[3], 0, PROTO_UDP, len_hi,
+            len_lo,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = [10, 0, 0, 1];
+    const DST: Ipv4Addr = [10, 0, 0, 2];
+
+    #[test]
+    fn round_trip_without_checksum() {
+        let hdr = UdpHeader::new(1234, 5678, 16);
+        let mut buf = [0u8; UDP_HEADER_LEN];
+        hdr.write(&mut buf, None);
+        let parsed = UdpHeader::parse(&buf).unwrap();
+        assert_eq!(parsed.src_port, 1234);
+        assert_eq!(parsed.dst_port, 5678);
+        assert_eq!(parsed.payload_len(), 16);
+        assert_eq!(parsed.csum, 0);
+    }
+
+    #[test]
+    fn checksum_verifies_and_detects_corruption() {
+        let payload = b"hello, memcached!";
+        let hdr = UdpHeader::new(40000, 11211, payload.len());
+        let mut buf = [0u8; UDP_HEADER_LEN];
+        hdr.write(&mut buf, Some((SRC, DST, payload)));
+        assert_ne!(u16::from_be_bytes([buf[6], buf[7]]), 0);
+        assert!(UdpHeader::verify(SRC, DST, &buf, payload));
+
+        let mut bad = *payload;
+        bad[0] ^= 1;
+        assert!(!UdpHeader::verify(SRC, DST, &buf, &bad));
+        // A different (not merely swapped — the ones'-complement sum is
+        // commutative) address pair must fail verification.
+        assert!(!UdpHeader::verify([99, 0, 0, 1], DST, &buf, payload));
+    }
+
+    #[test]
+    fn zero_checksum_always_verifies() {
+        let payload = b"data";
+        let hdr = UdpHeader::new(1, 2, payload.len());
+        let mut buf = [0u8; UDP_HEADER_LEN];
+        hdr.write(&mut buf, None);
+        assert!(UdpHeader::verify(SRC, DST, &buf, payload));
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert_eq!(UdpHeader::parse(&[0u8; 7]), None);
+        assert!(!UdpHeader::verify(SRC, DST, &[0u8; 7], b""));
+    }
+}

@@ -1,0 +1,163 @@
+//! A byte-capacity packet FIFO (the NIC's on-chip RX/TX SRAM).
+
+use std::collections::VecDeque;
+
+/// A FIFO of items with byte accounting against a fixed capacity.
+///
+/// "As soon as a packet is received, the NIC enqueues it in an on-chip
+/// SRAM buffer referred to as RX FIFO" (§VII.A). When the DMA engine
+/// cannot drain it, the FIFO fills and packets drop at the wire.
+///
+/// ```
+/// use simnet_nic::ByteFifo;
+/// let mut fifo: ByteFifo<&str> = ByteFifo::new(100);
+/// assert!(fifo.push(60, "a").is_ok());
+/// assert!(fifo.push(60, "b").is_err()); // would exceed 100 bytes
+/// assert_eq!(fifo.pop(), Some((60, "a")));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ByteFifo<T> {
+    capacity: u64,
+    used: u64,
+    items: VecDeque<(u64, T)>,
+    high_watermark: u64,
+}
+
+impl<T> ByteFifo<T> {
+    /// Creates a FIFO holding up to `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        Self {
+            capacity,
+            used: 0,
+            items: VecDeque::new(),
+            high_watermark: 0,
+        }
+    }
+
+    /// Byte capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently queued.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Free bytes.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Whether an item of `bytes` would fit.
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.free()
+    }
+
+    /// Whether the FIFO holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Highest byte occupancy ever observed.
+    pub fn high_watermark(&self) -> u64 {
+        self.high_watermark
+    }
+
+    /// Enqueues `item` occupying `bytes`; returns the item back on
+    /// overflow so the caller can account the drop.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` if the item does not fit.
+    pub fn push(&mut self, bytes: u64, item: T) -> Result<(), T> {
+        if !self.fits(bytes) {
+            return Err(item);
+        }
+        self.used += bytes;
+        self.high_watermark = self.high_watermark.max(self.used);
+        self.items.push_back((bytes, item));
+        Ok(())
+    }
+
+    /// Dequeues the oldest item.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        let (bytes, item) = self.items.pop_front()?;
+        self.used -= bytes;
+        Some((bytes, item))
+    }
+
+    /// Peeks the oldest item without removing it.
+    pub fn peek(&self) -> Option<(u64, &T)> {
+        self.items.front().map(|(b, i)| (*b, i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_accounting() {
+        let mut f: ByteFifo<u32> = ByteFifo::new(1000);
+        f.push(100, 1).unwrap();
+        f.push(200, 2).unwrap();
+        assert_eq!(f.used(), 300);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.pop(), Some((100, 1)));
+        assert_eq!(f.used(), 200);
+        assert_eq!(f.pop(), Some((200, 2)));
+        assert_eq!(f.pop(), None);
+        assert_eq!(f.used(), 0);
+    }
+
+    #[test]
+    fn overflow_returns_item() {
+        let mut f: ByteFifo<&str> = ByteFifo::new(100);
+        f.push(100, "fill").unwrap();
+        assert_eq!(f.push(1, "extra"), Err("extra"));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn exact_fit_succeeds() {
+        let mut f: ByteFifo<()> = ByteFifo::new(64);
+        assert!(f.fits(64));
+        f.push(64, ()).unwrap();
+        assert!(!f.fits(1));
+        assert_eq!(f.free(), 0);
+    }
+
+    #[test]
+    fn high_watermark_tracks_peak() {
+        let mut f: ByteFifo<u8> = ByteFifo::new(100);
+        f.push(80, 0).unwrap();
+        f.pop();
+        f.push(10, 1).unwrap();
+        assert_eq!(f.high_watermark(), 80);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut f: ByteFifo<u8> = ByteFifo::new(100);
+        f.push(10, 7).unwrap();
+        assert_eq!(f.peek(), Some((10, &7)));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        ByteFifo::<()>::new(0);
+    }
+}

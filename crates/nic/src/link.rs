@@ -1,0 +1,127 @@
+//! A point-to-point Ethernet link.
+
+use simnet_sim::stats::Counter;
+use simnet_sim::tick::{Bandwidth, Tick};
+
+use simnet_net::ethernet::WIRE_OVERHEAD;
+
+/// One direction of a full-duplex Ethernet link: serialization at the line
+/// rate (including preamble + inter-frame gap) plus propagation latency.
+///
+/// ```
+/// use simnet_nic::EtherLink;
+/// use simnet_sim::tick::{Bandwidth, us};
+/// let mut link = EtherLink::new(Bandwidth::gbps(100.0), us(100));
+/// let arrival = link.transmit(0, 1518);
+/// // (1518 + 20) bytes at 100 Gbps = 123.04 ns, plus 100 µs propagation.
+/// assert_eq!(arrival, 123_040 + us(100));
+/// ```
+#[derive(Debug)]
+pub struct EtherLink {
+    bandwidth: Bandwidth,
+    latency: Tick,
+    busy_until: Tick,
+    /// Frames transmitted.
+    pub frames: Counter,
+    /// Frame bytes transmitted (excluding wire overhead).
+    pub bytes: Counter,
+}
+
+impl EtherLink {
+    /// Creates a link with the given line rate and one-way propagation
+    /// latency.
+    pub fn new(bandwidth: Bandwidth, latency: Tick) -> Self {
+        Self {
+            bandwidth,
+            latency,
+            busy_until: 0,
+            frames: Counter::new(),
+            bytes: Counter::new(),
+        }
+    }
+
+    /// The line rate.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// One-way propagation latency.
+    pub fn latency(&self) -> Tick {
+        self.latency
+    }
+
+    /// Transmits a frame of `frame_len` bytes starting no earlier than
+    /// `now`; returns its **arrival tick** at the far end. Back-to-back
+    /// frames serialize behind each other.
+    pub fn transmit(&mut self, now: Tick, frame_len: usize) -> Tick {
+        let start = now.max(self.busy_until);
+        let wire_bytes = frame_len as u64 + WIRE_OVERHEAD as u64;
+        let done = start + self.bandwidth.bytes_to_ticks(wire_bytes);
+        self.busy_until = done;
+        self.frames.inc();
+        self.bytes.add(frame_len as u64);
+        done + self.latency
+    }
+
+    /// The earliest time a new frame could start serializing.
+    pub fn next_free(&self) -> Tick {
+        self.busy_until
+    }
+
+    /// Clears statistics (busy horizon persists).
+    pub fn reset_stats(&mut self) {
+        self.frames.reset();
+        self.bytes.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet_sim::tick::{ns, us};
+
+    #[test]
+    fn serialization_includes_wire_overhead() {
+        let mut link = EtherLink::new(Bandwidth::gbps(10.0), 0);
+        // (64 + 20) bytes at 10 Gbps = 67.2 ns.
+        assert_eq!(link.transmit(0, 64), 67_200);
+    }
+
+    #[test]
+    fn propagation_latency_added() {
+        let mut link = EtherLink::new(Bandwidth::gbps(10.0), us(100));
+        let arrival = link.transmit(0, 64);
+        assert_eq!(arrival, 67_200 + us(100));
+    }
+
+    #[test]
+    fn frames_serialize_back_to_back() {
+        let mut link = EtherLink::new(Bandwidth::gbps(10.0), 0);
+        let a = link.transmit(0, 64);
+        let b = link.transmit(0, 64);
+        assert_eq!(b - a, ns(67) + 200);
+        assert_eq!(link.frames.value(), 2);
+        assert_eq!(link.bytes.value(), 128);
+    }
+
+    #[test]
+    fn line_rate_caps_throughput() {
+        let mut link = EtherLink::new(Bandwidth::gbps(100.0), 0);
+        let n = 1000u64;
+        let mut last = 0;
+        for _ in 0..n {
+            last = link.transmit(0, 1518);
+        }
+        let gbps = Bandwidth::measured_gbps(1518 * n, last);
+        assert!(gbps < 100.0);
+        assert!(gbps > 95.0, "goodput {gbps}");
+    }
+
+    #[test]
+    fn idle_link_starts_immediately() {
+        let mut link = EtherLink::new(Bandwidth::gbps(10.0), 0);
+        link.transmit(0, 64);
+        let arrival = link.transmit(us(10), 64);
+        assert_eq!(arrival, us(10) + 67_200);
+    }
+}

@@ -1,0 +1,143 @@
+//! The 16-bit PCI Command register (configuration-space offset `0x04`).
+
+/// The PCI Command register as a typed value.
+///
+/// Fig. 2 of the paper shows this register in the first 8 bytes of the
+/// configuration space. The load-bearing bit for userspace networking is
+/// bit 10, **interrupt disable**: "we implement the interrupt disable bit
+/// in \[the\] gem5 PCI model, so the Linux kernel can disable the interrupts
+/// for the PCI devices ... which is necessary to support uio_pci_generic"
+/// (§III.A.1).
+///
+/// ```
+/// use simnet_pci::Command;
+/// let mut cmd = Command::new(0);
+/// cmd.set(Command::BUS_MASTER | Command::MEMORY_SPACE);
+/// cmd.set(Command::INTERRUPT_DISABLE);
+/// assert!(cmd.contains(Command::INTERRUPT_DISABLE));
+/// assert_eq!(cmd.bits() & 0b110, 0b110);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Command(u16);
+
+impl Command {
+    /// Bit 0: respond to I/O-space accesses.
+    pub const IO_SPACE: u16 = 1 << 0;
+    /// Bit 1: respond to memory-space accesses.
+    pub const MEMORY_SPACE: u16 = 1 << 1;
+    /// Bit 2: may act as a bus master (required for DMA).
+    pub const BUS_MASTER: u16 = 1 << 2;
+    /// Bit 3: special cycles.
+    pub const SPECIAL_CYCLES: u16 = 1 << 3;
+    /// Bit 4: memory write & invalidate enable.
+    pub const MWI_ENABLE: u16 = 1 << 4;
+    /// Bit 5: VGA palette snoop.
+    pub const VGA_SNOOP: u16 = 1 << 5;
+    /// Bit 6: parity error response.
+    pub const PARITY_ERROR: u16 = 1 << 6;
+    /// Bit 8: SERR# enable.
+    pub const SERR_ENABLE: u16 = 1 << 8;
+    /// Bit 9: fast back-to-back enable.
+    pub const FAST_B2B: u16 = 1 << 9;
+    /// Bit 10: **interrupt disable** — unimplemented in baseline gem5.
+    pub const INTERRUPT_DISABLE: u16 = 1 << 10;
+
+    /// Mask of the bits baseline gem5 implements (bits 0–9).
+    pub const BASELINE_IMPLEMENTED_MASK: u16 = 0x03ff;
+    /// Mask of defined bits in the extended (paper) model.
+    pub const EXTENDED_IMPLEMENTED_MASK: u16 = 0x07ff;
+
+    /// Creates a register from raw bits.
+    pub const fn new(bits: u16) -> Self {
+        Self(bits)
+    }
+
+    /// The raw bits.
+    pub const fn bits(&self) -> u16 {
+        self.0
+    }
+
+    /// Sets every bit in `mask`.
+    pub fn set(&mut self, mask: u16) {
+        self.0 |= mask;
+    }
+
+    /// Clears every bit in `mask`.
+    pub fn clear(&mut self, mask: u16) {
+        self.0 &= !mask;
+    }
+
+    /// Whether every bit in `mask` is set.
+    pub fn contains(&self, mask: u16) -> bool {
+        self.0 & mask == mask
+    }
+
+    /// Whether the device may issue DMA.
+    pub fn bus_master_enabled(&self) -> bool {
+        self.contains(Self::BUS_MASTER)
+    }
+
+    /// Whether legacy INTx interrupts are disabled.
+    pub fn interrupts_disabled(&self) -> bool {
+        self.contains(Self::INTERRUPT_DISABLE)
+    }
+}
+
+impl std::fmt::Display for Command {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Command(0x{:04x})", self.0)
+    }
+}
+
+impl std::fmt::LowerHex for Command {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl std::fmt::Binary for Command {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_contains() {
+        let mut cmd = Command::new(0);
+        cmd.set(Command::BUS_MASTER);
+        assert!(cmd.bus_master_enabled());
+        cmd.clear(Command::BUS_MASTER);
+        assert!(!cmd.bus_master_enabled());
+    }
+
+    #[test]
+    fn interrupt_disable_is_bit_ten() {
+        assert_eq!(Command::INTERRUPT_DISABLE, 0x0400);
+        let cmd = Command::new(0x0400);
+        assert!(cmd.interrupts_disabled());
+    }
+
+    #[test]
+    fn baseline_mask_excludes_bit_ten() {
+        assert_eq!(
+            Command::BASELINE_IMPLEMENTED_MASK & Command::INTERRUPT_DISABLE,
+            0
+        );
+        assert_eq!(
+            Command::EXTENDED_IMPLEMENTED_MASK,
+            Command::BASELINE_IMPLEMENTED_MASK | Command::INTERRUPT_DISABLE
+        );
+    }
+
+    #[test]
+    fn formatting_is_nonempty() {
+        let cmd = Command::new(0x0406);
+        assert_eq!(cmd.to_string(), "Command(0x0406)");
+        assert_eq!(format!("{cmd:x}"), "406");
+        assert_eq!(format!("{cmd:b}"), "10000000110");
+    }
+}

@@ -1,0 +1,270 @@
+//! The 256-byte PCI configuration space with width-aware access semantics.
+
+use crate::command::Command;
+
+/// Offset of the Vendor ID field.
+pub const OFF_VENDOR_ID: usize = 0x00;
+/// Offset of the Device ID field.
+pub const OFF_DEVICE_ID: usize = 0x02;
+/// Offset of the Command register.
+pub const OFF_COMMAND: usize = 0x04;
+/// Offset of the Status register.
+pub const OFF_STATUS: usize = 0x06;
+/// Offset of the first Base Address Register.
+pub const OFF_BAR0: usize = 0x10;
+
+/// Whether the config space reproduces baseline gem5's access bugs or the
+/// paper's fixed behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompatMode {
+    /// Baseline gem5 (§III.A): Command bit 10 is not implemented, and
+    /// byte-granular accesses to the Command register are **ignored** —
+    /// "such byte-granular accesses are being ignored in gem5, and
+    /// therefore DPDK cannot properly read and write the upper half of the
+    /// Command Register".
+    Baseline,
+    /// The paper's extended model: bit 10 implemented, 1/2/4-byte accesses
+    /// honoured everywhere.
+    #[default]
+    Extended,
+}
+
+/// A device's PCI configuration space.
+///
+/// ```
+/// use simnet_pci::{CompatMode, ConfigSpace, Command};
+/// let mut cs = ConfigSpace::new(0x8086, 0x100e, CompatMode::Extended);
+/// assert_eq!(cs.read_config(0x00, 2), 0x8086); // vendor id
+/// // DPDK-style byte write of the upper Command byte (sets bit 10):
+/// cs.write_config(0x05, 1, 0x04);
+/// assert!(cs.command().interrupts_disabled());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConfigSpace {
+    bytes: [u8; 256],
+    mode: CompatMode,
+}
+
+impl ConfigSpace {
+    /// Creates a config space for the given vendor/device IDs.
+    pub fn new(vendor_id: u16, device_id: u16, mode: CompatMode) -> Self {
+        let mut bytes = [0u8; 256];
+        bytes[OFF_VENDOR_ID..OFF_VENDOR_ID + 2].copy_from_slice(&vendor_id.to_le_bytes());
+        bytes[OFF_DEVICE_ID..OFF_DEVICE_ID + 2].copy_from_slice(&device_id.to_le_bytes());
+        Self { bytes, mode }
+    }
+
+    /// The compatibility mode.
+    pub fn mode(&self) -> CompatMode {
+        self.mode
+    }
+
+    /// The vendor ID.
+    pub fn vendor_id(&self) -> u16 {
+        u16::from_le_bytes([self.bytes[OFF_VENDOR_ID], self.bytes[OFF_VENDOR_ID + 1]])
+    }
+
+    /// The device ID.
+    pub fn device_id(&self) -> u16 {
+        u16::from_le_bytes([self.bytes[OFF_DEVICE_ID], self.bytes[OFF_DEVICE_ID + 1]])
+    }
+
+    /// The Command register as a typed value.
+    pub fn command(&self) -> Command {
+        Command::new(u16::from_le_bytes([
+            self.bytes[OFF_COMMAND],
+            self.bytes[OFF_COMMAND + 1],
+        ]))
+    }
+
+    /// Base address register `n` (0–5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 5`.
+    pub fn bar(&self, n: usize) -> u32 {
+        assert!(n <= 5, "PCI type-0 headers have 6 BARs");
+        let off = OFF_BAR0 + n * 4;
+        u32::from_le_bytes(self.bytes[off..off + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Programs base address register `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 5`.
+    pub fn set_bar(&mut self, n: usize, value: u32) {
+        assert!(n <= 5, "PCI type-0 headers have 6 BARs");
+        let off = OFF_BAR0 + n * 4;
+        self.bytes[off..off + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads `width` bytes (1, 2 or 4) at `offset`, little-endian.
+    ///
+    /// In [`CompatMode::Baseline`], 1-byte reads of the Command register
+    /// return 0 (the access is "ignored"), reproducing the defect that
+    /// keeps DPDK from seeing the upper Command byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1/2/4 or the access crosses the space.
+    pub fn read_config(&self, offset: usize, width: usize) -> u32 {
+        assert!(matches!(width, 1 | 2 | 4), "width must be 1, 2 or 4");
+        assert!(offset + width <= 256, "access beyond config space");
+
+        if self.mode == CompatMode::Baseline
+            && width == 1
+            && (OFF_COMMAND..OFF_COMMAND + 2).contains(&offset)
+        {
+            return 0; // dropped byte access (gem5 bug)
+        }
+
+        let mut value = 0u32;
+        for i in 0..width {
+            value |= (self.bytes[offset + i] as u32) << (8 * i);
+        }
+        value
+    }
+
+    /// Writes `width` bytes (1, 2 or 4) at `offset`, little-endian, with
+    /// register semantics:
+    ///
+    /// * Vendor/Device ID are read-only.
+    /// * Command writes are masked to the implemented bits (bit 10 only in
+    ///   [`CompatMode::Extended`]).
+    /// * Baseline mode silently ignores 1-byte Command writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1/2/4 or the access crosses the space.
+    pub fn write_config(&mut self, offset: usize, width: usize, value: u32) {
+        assert!(matches!(width, 1 | 2 | 4), "width must be 1, 2 or 4");
+        assert!(offset + width <= 256, "access beyond config space");
+
+        for i in 0..width {
+            let byte_off = offset + i;
+            let byte = ((value >> (8 * i)) & 0xff) as u8;
+            self.write_byte(byte_off, byte, width);
+        }
+    }
+
+    fn write_byte(&mut self, offset: usize, byte: u8, access_width: usize) {
+        // IDs are read-only.
+        if offset < OFF_COMMAND {
+            return;
+        }
+        // Command register: mode-dependent semantics.
+        if (OFF_COMMAND..OFF_COMMAND + 2).contains(&offset) {
+            if self.mode == CompatMode::Baseline && access_width == 1 {
+                return; // dropped byte access (gem5 bug)
+            }
+            let mask = match self.mode {
+                CompatMode::Baseline => Command::BASELINE_IMPLEMENTED_MASK,
+                CompatMode::Extended => Command::EXTENDED_IMPLEMENTED_MASK,
+            };
+            let byte_mask = (mask >> (8 * (offset - OFF_COMMAND))) as u8;
+            self.bytes[offset] = byte & byte_mask;
+            return;
+        }
+        // Status register is RO/W1C; model as read-only for simplicity.
+        if (OFF_STATUS..OFF_STATUS + 2).contains(&offset) {
+            return;
+        }
+        self.bytes[offset] = byte;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extended() -> ConfigSpace {
+        ConfigSpace::new(0x8086, 0x100e, CompatMode::Extended)
+    }
+
+    fn baseline() -> ConfigSpace {
+        ConfigSpace::new(0x8086, 0x100e, CompatMode::Baseline)
+    }
+
+    #[test]
+    fn ids_are_visible_and_read_only() {
+        let mut cs = extended();
+        assert_eq!(cs.vendor_id(), 0x8086);
+        assert_eq!(cs.device_id(), 0x100e);
+        assert_eq!(cs.read_config(0x00, 4), 0x100e_8086);
+        cs.write_config(0x00, 4, 0xdead_beef);
+        assert_eq!(cs.vendor_id(), 0x8086);
+    }
+
+    #[test]
+    fn extended_mode_honours_byte_writes_to_command() {
+        let mut cs = extended();
+        // DPDK reads the upper half, sets the interrupt-disable bit,
+        // writes it back — all with 8-bit accesses at offset 0x05.
+        let hi = cs.read_config(0x05, 1);
+        cs.write_config(0x05, 1, hi | 0x04);
+        assert!(cs.command().interrupts_disabled());
+        assert_eq!(cs.read_config(0x05, 1), 0x04);
+    }
+
+    #[test]
+    fn baseline_mode_drops_byte_accesses_to_command() {
+        let mut cs = baseline();
+        cs.write_config(0x05, 1, 0x04);
+        assert!(!cs.command().interrupts_disabled());
+        // And the read comes back empty too.
+        cs.write_config(0x04, 2, Command::BUS_MASTER as u32);
+        assert_eq!(cs.read_config(0x04, 1), 0);
+        assert_eq!(cs.read_config(0x04, 2), Command::BUS_MASTER as u32);
+    }
+
+    #[test]
+    fn baseline_mode_masks_bit_ten_on_word_writes() {
+        let mut cs = baseline();
+        cs.write_config(0x04, 2, 0x0407);
+        assert_eq!(cs.command().bits(), 0x0007);
+    }
+
+    #[test]
+    fn extended_mode_implements_bit_ten_on_word_writes() {
+        let mut cs = extended();
+        cs.write_config(0x04, 2, 0x0407);
+        assert_eq!(cs.command().bits(), 0x0407);
+    }
+
+    #[test]
+    fn undefined_command_bits_never_stick() {
+        let mut cs = extended();
+        cs.write_config(0x04, 2, 0xffff);
+        assert_eq!(cs.command().bits(), Command::EXTENDED_IMPLEMENTED_MASK);
+    }
+
+    #[test]
+    fn bars_program_and_read_back() {
+        let mut cs = extended();
+        cs.set_bar(0, 0xfebc_0000);
+        assert_eq!(cs.bar(0), 0xfebc_0000);
+        assert_eq!(cs.read_config(0x10, 4), 0xfebc_0000);
+        cs.write_config(0x14, 4, 0xc000_0001);
+        assert_eq!(cs.bar(1), 0xc000_0001);
+    }
+
+    #[test]
+    fn status_register_is_read_only() {
+        let mut cs = extended();
+        cs.write_config(OFF_STATUS, 2, 0xffff);
+        assert_eq!(cs.read_config(OFF_STATUS, 2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn rejects_bad_width() {
+        extended().read_config(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn rejects_out_of_range() {
+        extended().read_config(255, 2);
+    }
+}

@@ -1,0 +1,29 @@
+//! PCI configuration-space model.
+//!
+//! §III.A of the paper identifies two PCI-level defects that keep DPDK off
+//! baseline gem5, both reproduced (and fixed) here:
+//!
+//! 1. **Interrupt-disable bit** — baseline gem5 implements bits 0–9 of the
+//!    16-bit Command register at offset `0x04` but not bit 10 (interrupt
+//!    disable), which the kernel must set for `uio_pci_generic` to take a
+//!    device. [`ConfigSpace`] models both behaviours via
+//!    [`CompatMode::Baseline`] and [`CompatMode::Extended`].
+//! 2. **Byte-granular Command access** — DPDK pokes the Command register
+//!    with 8-bit accesses at offsets `0x04`/`0x05`; baseline gem5 ignores
+//!    them, so the upper Command byte (where bit 10 lives) is unreachable.
+//!    [`ConfigSpace::write_config`] honours 1-, 2- and 4-byte accesses in
+//!    extended mode and reproduces the dropped-write bug in baseline mode.
+//!
+//! On top sit a [`uio::UioPciGeneric`] driver model (which genuinely fails
+//! to bind against a baseline-mode device, as on unpatched gem5) and a
+//! [`devbind`] registry mirroring `dpdk-devbind.py`.
+
+pub mod command;
+pub mod config_space;
+pub mod devbind;
+pub mod uio;
+
+pub use command::Command;
+pub use config_space::{CompatMode, ConfigSpace};
+pub use devbind::{Bdf, DevBind};
+pub use uio::{BindError, UioPciGeneric};

@@ -1,0 +1,141 @@
+//! A model of Linux's `uio_pci_generic` driver.
+//!
+//! `uio_pci_generic` refuses to take a device whose legacy interrupts it
+//! cannot disable: on probe it sets the Command register's
+//! interrupt-disable bit and reads it back. On baseline gem5 that bit is
+//! unimplemented, so the probe fails and DPDK never gets the device — the
+//! exact failure §III.A.1 describes. Against the extended config-space
+//! model the probe succeeds.
+
+use crate::command::Command;
+use crate::config_space::{ConfigSpace, OFF_COMMAND};
+
+/// Why a UIO bind failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindError {
+    /// The device does not implement the Command interrupt-disable bit
+    /// (baseline gem5's PCI model).
+    InterruptDisableUnsupported,
+    /// The device is already bound to a driver.
+    AlreadyBound,
+}
+
+impl std::fmt::Display for BindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BindError::InterruptDisableUnsupported => {
+                write!(f, "device cannot disable legacy interrupts (PCI Command bit 10)")
+            }
+            BindError::AlreadyBound => write!(f, "device already bound to a driver"),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+/// The `uio_pci_generic` driver: exposes a bound device's config space and
+/// BARs to userspace.
+#[derive(Debug, Default)]
+pub struct UioPciGeneric {
+    bound: bool,
+}
+
+impl UioPciGeneric {
+    /// Creates an unbound driver instance (`modprobe uio_pci_generic`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a device is currently bound.
+    pub fn is_bound(&self) -> bool {
+        self.bound
+    }
+
+    /// Probes `config`: enables memory decoding and bus mastering, then
+    /// verifies interrupts can be disabled. This is the gate that fails on
+    /// baseline gem5.
+    ///
+    /// # Errors
+    ///
+    /// [`BindError::InterruptDisableUnsupported`] if the interrupt-disable
+    /// bit does not stick; [`BindError::AlreadyBound`] if already bound.
+    pub fn bind(&mut self, config: &mut ConfigSpace) -> Result<(), BindError> {
+        if self.bound {
+            return Err(BindError::AlreadyBound);
+        }
+        // Enable the device the way the kernel does.
+        let cmd = config.read_config(OFF_COMMAND, 2) as u16;
+        config.write_config(
+            OFF_COMMAND,
+            2,
+            (cmd | Command::MEMORY_SPACE | Command::BUS_MASTER) as u32,
+        );
+
+        // pci_intx(dev, 0): set interrupt-disable via a byte write to the
+        // upper Command byte (this is the access pattern baseline gem5
+        // drops), then verify it stuck.
+        let hi = config.read_config(OFF_COMMAND + 1, 1);
+        config.write_config(OFF_COMMAND + 1, 1, hi | (Command::INTERRUPT_DISABLE >> 8) as u32);
+        if !config.command().interrupts_disabled() {
+            return Err(BindError::InterruptDisableUnsupported);
+        }
+        self.bound = true;
+        Ok(())
+    }
+
+    /// Releases the device.
+    pub fn unbind(&mut self, config: &mut ConfigSpace) {
+        if self.bound {
+            let cmd = config.command();
+            let mut restored = cmd;
+            restored.clear(Command::INTERRUPT_DISABLE);
+            config.write_config(OFF_COMMAND, 2, restored.bits() as u32);
+            self.bound = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config_space::CompatMode;
+
+    #[test]
+    fn bind_succeeds_on_extended_model() {
+        let mut cs = ConfigSpace::new(0x8086, 0x100e, CompatMode::Extended);
+        let mut uio = UioPciGeneric::new();
+        assert_eq!(uio.bind(&mut cs), Ok(()));
+        assert!(uio.is_bound());
+        assert!(cs.command().bus_master_enabled());
+        assert!(cs.command().interrupts_disabled());
+    }
+
+    #[test]
+    fn bind_fails_on_baseline_model() {
+        // The paper's §III.A.1 failure, reproduced.
+        let mut cs = ConfigSpace::new(0x8086, 0x100e, CompatMode::Baseline);
+        let mut uio = UioPciGeneric::new();
+        assert_eq!(uio.bind(&mut cs), Err(BindError::InterruptDisableUnsupported));
+        assert!(!uio.is_bound());
+    }
+
+    #[test]
+    fn double_bind_rejected() {
+        let mut cs = ConfigSpace::new(0x8086, 0x100e, CompatMode::Extended);
+        let mut uio = UioPciGeneric::new();
+        uio.bind(&mut cs).unwrap();
+        assert_eq!(uio.bind(&mut cs), Err(BindError::AlreadyBound));
+    }
+
+    #[test]
+    fn unbind_restores_interrupts() {
+        let mut cs = ConfigSpace::new(0x8086, 0x100e, CompatMode::Extended);
+        let mut uio = UioPciGeneric::new();
+        uio.bind(&mut cs).unwrap();
+        uio.unbind(&mut cs);
+        assert!(!uio.is_bound());
+        assert!(!cs.command().interrupts_disabled());
+        // Re-bind works after unbind.
+        assert_eq!(uio.bind(&mut cs), Ok(()));
+    }
+}

@@ -1,0 +1,316 @@
+//! A deterministic pending-event set.
+//!
+//! [`EventQueue`] orders events by `(tick, priority, insertion sequence)`.
+//! Ties at the same tick are broken first by [`Priority`] (lower value runs
+//! first, mirroring gem5's event priorities) and then by insertion order, so
+//! simulations are reproducible regardless of allocator or hash-map state.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::tick::Tick;
+
+/// Scheduling priority for events that share a tick. Lower runs first.
+///
+/// The default priority is [`Priority::NORMAL`]. The named levels mirror the
+/// ordering needs of the NIC/CPU models: link delivery happens before DMA
+/// completion, which happens before software progress at the same tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(pub i16);
+
+impl Priority {
+    /// Runs before everything else at a tick (e.g. statistics resets).
+    pub const MINIMUM: Priority = Priority(i16::MIN);
+    /// Wire/link events: packet delivery onto a device.
+    pub const LINK: Priority = Priority(-30);
+    /// DMA transaction completion.
+    pub const DMA: Priority = Priority(-20);
+    /// Device-internal bookkeeping (descriptor writeback, interrupts).
+    pub const DEVICE: Priority = Priority(-10);
+    /// Ordinary events.
+    pub const NORMAL: Priority = Priority(0);
+    /// Software progress (core run-loop iterations).
+    pub const CPU: Priority = Priority(10);
+    /// Runs after everything else at a tick (e.g. sampling probes).
+    pub const MAXIMUM: Priority = Priority(i16::MAX);
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Priority::NORMAL
+    }
+}
+
+/// A scheduled event: when it fires, at what priority, and its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event<E> {
+    /// Tick at which the event fires.
+    pub tick: Tick,
+    /// Tie-break priority within the tick.
+    pub priority: Priority,
+    /// Monotonic insertion sequence number (final tie-break).
+    pub seq: u64,
+    /// The caller-defined payload.
+    pub payload: E,
+}
+
+struct HeapEntry<E> {
+    tick: Tick,
+    priority: Priority,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.tick == other.tick && self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is on top.
+        (other.tick, other.priority, other.seq).cmp(&(self.tick, self.priority, self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// The queue tracks the current simulated time: popping an event advances
+/// [`EventQueue::now`] to that event's tick. Scheduling into the past is a
+/// bug and panics.
+///
+/// # Example
+///
+/// ```
+/// use simnet_sim::{EventQueue, Priority, tick};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_with_priority(tick::ns(2), Priority::CPU, "cpu");
+/// q.schedule_with_priority(tick::ns(2), Priority::LINK, "link");
+/// // Same tick: the link event runs first.
+/// assert_eq!(q.pop().unwrap().payload, "link");
+/// assert_eq!(q.pop().unwrap().payload, "cpu");
+/// assert_eq!(q.now(), tick::ns(2));
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    now: Tick,
+    next_seq: u64,
+    scheduled: u64,
+    executed: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at tick 0.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: 0,
+            next_seq: 0,
+            scheduled: 0,
+            executed: 0,
+        }
+    }
+
+    /// Current simulated time: the tick of the most recently popped event.
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events scheduled since creation.
+    pub fn scheduled_count(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Total events executed (popped) since creation.
+    pub fn executed_count(&self) -> u64 {
+        self.executed
+    }
+
+    /// Schedules `payload` at `tick` with [`Priority::NORMAL`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is before [`EventQueue::now`].
+    pub fn schedule(&mut self, tick: Tick, payload: E) {
+        self.schedule_with_priority(tick, Priority::NORMAL, payload);
+    }
+
+    /// Schedules `payload` `delta` ticks after the current time.
+    pub fn schedule_in(&mut self, delta: Tick, payload: E) {
+        self.schedule(self.now.saturating_add(delta), payload);
+    }
+
+    /// Schedules `payload` at `tick` with an explicit priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is before [`EventQueue::now`].
+    pub fn schedule_with_priority(&mut self, tick: Tick, priority: Priority, payload: E) {
+        assert!(
+            tick >= self.now,
+            "scheduling into the past: tick {tick} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.heap.push(HeapEntry {
+            tick,
+            priority,
+            seq,
+            payload,
+        });
+    }
+
+    /// Tick of the next pending event, if any.
+    pub fn peek_tick(&self) -> Option<Tick> {
+        self.heap.peek().map(|e| e.tick)
+    }
+
+    /// Pops the next event and advances the clock to its tick.
+    pub fn pop(&mut self) -> Option<Event<E>> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.tick >= self.now);
+        self.now = entry.tick;
+        self.executed += 1;
+        Some(Event {
+            tick: entry.tick,
+            priority: entry.priority,
+            seq: entry.seq,
+            payload: entry.payload,
+        })
+    }
+
+    /// Pops the next event only if it fires at or before `limit`.
+    pub fn pop_until(&mut self, limit: Tick) -> Option<Event<E>> {
+        match self.peek_tick() {
+            Some(t) if t <= limit => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Discards all pending events without advancing time.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("scheduled", &self.scheduled)
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tick;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop().unwrap().payload, "a");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn same_tick_fifo_within_priority() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().payload, i);
+        }
+    }
+
+    #[test]
+    fn priority_breaks_ties() {
+        let mut q = EventQueue::new();
+        q.schedule_with_priority(5, Priority::CPU, "cpu");
+        q.schedule_with_priority(5, Priority::LINK, "link");
+        q.schedule_with_priority(5, Priority::DMA, "dma");
+        assert_eq!(q.pop().unwrap().payload, "link");
+        assert_eq!(q.pop().unwrap().payload, "dma");
+        assert_eq!(q.pop().unwrap().payload, "cpu");
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(tick::ns(4), ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), tick::ns(4));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(100, 1);
+        q.pop();
+        q.schedule_in(50, 2);
+        let e = q.pop().unwrap();
+        assert_eq!(e.tick, 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn rejects_past_scheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(100, ());
+        q.pop();
+        q.schedule(50, ());
+    }
+
+    #[test]
+    fn pop_until_respects_limit() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "early");
+        q.schedule(100, "late");
+        assert_eq!(q.pop_until(50).unwrap().payload, "early");
+        assert!(q.pop_until(50).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_until(100).unwrap().payload, "late");
+    }
+
+    #[test]
+    fn counts_track_activity() {
+        let mut q = EventQueue::new();
+        q.schedule(1, ());
+        q.schedule(2, ());
+        q.pop();
+        assert_eq!(q.scheduled_count(), 2);
+        assert_eq!(q.executed_count(), 1);
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

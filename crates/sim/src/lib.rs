@@ -1,0 +1,43 @@
+//! Deterministic discrete-event simulation kernel for `simnet`.
+//!
+//! This crate is the substrate every other `simnet` crate builds on. It
+//! provides:
+//!
+//! * [`Tick`] — the global simulated time base (1 tick = 1 picosecond, the
+//!   same resolution gem5 uses), plus conversion helpers in [`tick`].
+//! * [`EventQueue`] — a deterministic, stable-ordered pending-event set
+//!   generic over the event payload type.
+//! * [`stats`] — gem5-style statistics: scalars, running distributions,
+//!   histograms and sample sets with exact quantiles.
+//! * [`random`] — seeded pseudo-random distributions (fixed, uniform,
+//!   exponential, Zipfian) used by load generators and workloads.
+//!
+//! # Determinism
+//!
+//! Two runs with identical configurations and seeds produce identical event
+//! orderings and therefore identical statistics. The event queue breaks
+//! same-tick ties by (priority, insertion sequence), never by allocation
+//! order or hash iteration.
+//!
+//! # Example
+//!
+//! ```
+//! use simnet_sim::{EventQueue, tick};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Hello, World }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(tick::ns(5), Ev::World);
+//! q.schedule(tick::ns(1), Ev::Hello);
+//! assert_eq!(q.pop().map(|e| e.payload), Some(Ev::Hello));
+//! assert_eq!(q.pop().map(|e| e.payload), Some(Ev::World));
+//! ```
+
+pub mod event;
+pub mod random;
+pub mod stats;
+pub mod tick;
+
+pub use event::{Event, EventQueue, Priority};
+pub use tick::Tick;

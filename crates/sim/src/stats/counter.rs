@@ -1,0 +1,95 @@
+//! A monotonically increasing event counter.
+
+/// A named event count, e.g. packets received or LLC misses.
+///
+/// ```
+/// use simnet_sim::stats::Counter;
+/// let mut rx = Counter::default();
+/// rx.inc();
+/// rx.add(3);
+/// assert_eq!(rx.value(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Resets to zero (post-warm-up stats reset).
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// This counter as a fraction of `total` (0.0 when `total` is 0).
+    pub fn fraction_of(&self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.value as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+impl std::ops::AddAssign<u64> for Counter {
+    fn add_assign(&mut self, rhs: u64) {
+        self.add(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_resets() {
+        let mut c = Counter::new();
+        assert_eq!(c.value(), 0);
+        c.inc();
+        c += 9;
+        assert_eq!(c.value(), 10);
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn fraction_handles_zero_total() {
+        let mut c = Counter::new();
+        c.add(5);
+        assert_eq!(c.fraction_of(0), 0.0);
+        assert!((c.fraction_of(20) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Counter::new().to_string(), "0");
+    }
+}

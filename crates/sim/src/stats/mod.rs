@@ -1,0 +1,22 @@
+//! gem5-style simulation statistics.
+//!
+//! Components record into these structures while the simulation runs; the
+//! harness reads them out at the end (or resets them after warm-up, the way
+//! gem5 resets stats after `m5 resetstats`).
+//!
+//! * [`Counter`] — a monotonically increasing event count.
+//! * [`Running`] — a constant-space running mean/stddev/min/max (Welford).
+//! * [`Histogram`] — fixed-width bins with under/overflow buckets.
+//! * [`SampleSet`] — a bounded sample store with exact quantiles, used for
+//!   the load generator's per-packet round-trip latency report
+//!   (mean, median, standard deviation, tails — §IV).
+
+mod counter;
+mod histogram;
+mod running;
+mod samples;
+
+pub use counter::Counter;
+pub use histogram::Histogram;
+pub use running::Running;
+pub use samples::{LatencySummary, SampleSet};

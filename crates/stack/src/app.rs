@@ -1,0 +1,60 @@
+//! The interface between network stacks and benchmark applications.
+
+use simnet_cpu::Op;
+use simnet_net::Packet;
+use simnet_nic::i8254x::RxCompletion;
+use simnet_sim::Tick;
+
+/// What the application wants done with a processed packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppAction {
+    /// Transmit this frame, reusing the RX mbuf (zero-copy forward).
+    Forward(Packet),
+    /// Consume the packet; nothing is sent.
+    Consume,
+    /// Transmit a newly built frame (e.g. a KV response); the stack
+    /// allocates a TX mbuf for it.
+    Respond(Packet),
+}
+
+/// A benchmark application processing packets one at a time.
+///
+/// `on_packet` pushes the application's work — compute batches and
+/// concrete memory touches — into `ops`; the stack appends its own framing
+/// costs and hands the combined stream to the core model.
+pub trait PacketApp {
+    /// The application's name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Processes one received packet. `mbuf_addr` is the simulated
+    /// physical address of the packet data (for payload touch ops).
+    fn on_packet(
+        &mut self,
+        packet: &RxCompletion,
+        mbuf_addr: simnet_mem::Addr,
+        ops: &mut Vec<Op>,
+    ) -> AppAction;
+
+    /// Work performed once per received burst, before per-packet
+    /// processing (e.g. RXpTX's configurable processing interval, which
+    /// amortizes over the burst). Default: nothing.
+    fn on_burst(&mut self, _count: usize, _ops: &mut Vec<Op>) {}
+
+    /// Work performed per poll iteration even when no packet arrived
+    /// (e.g. timer management). Default: nothing.
+    fn on_idle(&mut self, _ops: &mut Vec<Op>) {}
+
+    /// Client-side hook: a packet this application wants to *originate*
+    /// at `now` (a software load-generator app on a Drive Node,
+    /// Fig. 1a). The emitted work goes into `ops`. Servers (the default)
+    /// never originate.
+    fn poll_tx(&mut self, _now: Tick, _ops: &mut Vec<Op>) -> Option<Packet> {
+        None
+    }
+
+    /// When this application next wants to originate a packet, if ever.
+    /// Lets the enclosing node wake an idle client loop.
+    fn next_tx_at(&self, _now: Tick) -> Option<Tick> {
+        None
+    }
+}

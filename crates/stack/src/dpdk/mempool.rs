@@ -1,0 +1,108 @@
+//! The DPDK mempool: fixed-size packet-buffer (mbuf) allocation out of
+//! hugepage-backed memory.
+
+/// A pool of 2 KiB mbufs identified by index into the global mbuf region
+/// (see [`simnet_mem::layout::mbuf_addr`]).
+#[derive(Debug, Clone)]
+pub struct Mempool {
+    base: usize,
+    capacity: usize,
+    free: Vec<usize>,
+    cursor: usize,
+}
+
+impl Mempool {
+    /// Creates a pool of `capacity` mbufs starting at global mbuf index
+    /// `base` (kept disjoint from the RX ring's slot-mapped mbufs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(base: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "mempool must hold at least one mbuf");
+        Self {
+            base,
+            capacity,
+            free: (0..capacity).rev().map(|i| base + i).collect(),
+            cursor: 0,
+        }
+    }
+
+    /// Number of free mbufs.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Allocates an mbuf, or `None` if exhausted.
+    pub fn alloc(&mut self) -> Option<usize> {
+        self.free.pop()
+    }
+
+    /// Allocates an mbuf, recycling round-robin when exhausted (used for
+    /// fire-and-forget TX responses whose completion isn't tracked).
+    pub fn alloc_cyclic(&mut self) -> usize {
+        if let Some(idx) = self.free.pop() {
+            return idx;
+        }
+        let idx = self.base + self.cursor;
+        self.cursor = (self.cursor + 1) % self.capacity;
+        idx
+    }
+
+    /// Returns an mbuf to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not belong to this pool.
+    pub fn free(&mut self, index: usize) {
+        assert!(
+            (self.base..self.base + self.capacity).contains(&index),
+            "mbuf {index} is not from this pool"
+        );
+        self.free.push(index);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut pool = Mempool::new(100, 4);
+        assert_eq!(pool.available(), 4);
+        let a = pool.alloc().unwrap();
+        assert!((100..104).contains(&a));
+        pool.free(a);
+        assert_eq!(pool.available(), 4);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut pool = Mempool::new(0, 2);
+        assert!(pool.alloc().is_some());
+        assert!(pool.alloc().is_some());
+        assert!(pool.alloc().is_none());
+    }
+
+    #[test]
+    fn cyclic_alloc_never_fails() {
+        let mut pool = Mempool::new(10, 2);
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            seen.push(pool.alloc_cyclic());
+        }
+        assert!(seen.iter().all(|&i| (10..12).contains(&i)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not from this pool")]
+    fn foreign_free_panics() {
+        Mempool::new(0, 2).free(5);
+    }
+}

@@ -1,0 +1,69 @@
+//! Software network stacks.
+//!
+//! The paper's central comparison is *userspace* (DPDK) versus *kernel*
+//! networking on the same simulated hardware. Both stacks here consume the
+//! same NIC and emit op streams priced by the same core model; what differs
+//! is exactly what differs in reality:
+//!
+//! * [`dpdk`] — polling-mode driver, zero-copy (the app reads packet data
+//!   in place in the mbuf), small per-packet cost, modest (256 KiB–1 MiB)
+//!   working set, run-to-completion.
+//! * [`kernel`] — interrupt-driven NAPI entry, per-packet socket/syscall
+//!   costs, a copy from kernel to user buffers, and a multi-MiB working
+//!   set that makes the kernel path cache-sensitive (Figs. 10–12's iperf
+//!   and MemcachedKernel series).
+//!
+//! Applications implement [`PacketApp`] (in `simnet-apps`) and run on
+//! either stack via the [`NetworkStack`] trait.
+
+pub mod app;
+pub mod dpdk;
+pub mod footprint;
+pub mod kernel;
+
+pub use app::{AppAction, PacketApp};
+pub use dpdk::{DpdkStack, Eal, EalConfig, EalError, Mempool};
+pub use kernel::KernelStack;
+
+use simnet_cpu::Core;
+use simnet_mem::MemorySystem;
+use simnet_nic::Nic;
+use simnet_sim::Tick;
+
+/// Result of one stack iteration (one poll loop pass or one NAPI/syscall
+/// cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Iteration {
+    /// When the core finished this iteration; the next one may start here.
+    pub end: Tick,
+    /// Packets received and processed.
+    pub rx: usize,
+    /// Packets submitted for transmission.
+    pub tx: usize,
+    /// Whether the iteration found no work (the node may sleep until the
+    /// NIC has something visible instead of simulating every spin).
+    pub idle: bool,
+}
+
+/// A software network stack driving one NIC port with one application.
+pub trait NetworkStack {
+    /// The stack's name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Runs one iteration starting at `now`.
+    fn iteration(
+        &mut self,
+        now: Tick,
+        nic: &mut Nic,
+        core: &mut Core,
+        mem: &mut MemorySystem,
+        app: &mut dyn PacketApp,
+    ) -> Iteration;
+
+    /// Extra delay between "a packet became visible" and "this stack
+    /// notices it" when idle — zero for a polling stack, the interrupt
+    /// latency for the kernel stack.
+    fn wakeup_latency(&self) -> Tick {
+        0
+    }
+}

@@ -1,0 +1,54 @@
+//! A memcached-style key-value store under Zipfian GET/SET load, on both
+//! network stacks — the paper's "Benchmarking with Real Applications"
+//! scenario (Fig. 18).
+//!
+//! The load generator's memcached-client mode builds real protocol
+//! datagrams (80% GET, Zipf(10,100,0.5) lengths over 5000 warmed keys),
+//! tracks outstanding request ids, and reports per-request round-trip
+//! latency.
+//!
+//! ```text
+//! cargo run --release --example kv_store [KRPS]
+//! ```
+
+use simnet::prelude::*;
+
+fn main() {
+    let krps: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(400.0);
+
+    let cfg = SystemConfig::gem5();
+    println!("offered load: {krps:.0} kRPS (80% GET / 20% SET, Zipfian sizes)\n");
+
+    for spec in [AppSpec::MemcachedDpdk, AppSpec::MemcachedKernel] {
+        let summary = run_point(&cfg, &spec, 0, krps, RunConfig::long());
+        println!("=== {} ===", spec.label());
+        println!(
+            "achieved {:.0} kRPS | unanswered {:.1}%",
+            summary.achieved_rps() / 1e3,
+            summary.report.drop_rate * 100.0
+        );
+        let l = &summary.report.latency;
+        println!(
+            "request latency: mean {:.1} us | median {:.1} us | p99 {:.1} us (n={})",
+            l.mean / 1e6,
+            l.median / 1e6,
+            l.p99 / 1e6,
+            l.count
+        );
+        println!();
+    }
+
+    println!("finding each stack's sustainable request rate (Fig. 18 knee):");
+    for spec in [AppSpec::MemcachedDpdk, AppSpec::MemcachedKernel] {
+        let msb = find_msb(&cfg, &spec, 0, 50.0, 2_000.0, 7, RunConfig::long());
+        println!(
+            "  {:16} -> {:.0} kRPS   (paper: {} kRPS)",
+            spec.label(),
+            msb.msb_or_zero(),
+            if spec == AppSpec::MemcachedDpdk { 709 } else { 218 }
+        );
+    }
+}

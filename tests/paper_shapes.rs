@@ -1,0 +1,150 @@
+//! Cross-crate shape tests: the qualitative results the paper reports
+//! must hold on the assembled system (coarse tolerances — these guard the
+//! *direction* of every effect, not the absolute numbers).
+
+use simnet::cpu::CoreKind;
+use simnet::harness::{find_msb, run_point, AppSpec, RunConfig, SystemConfig};
+use simnet::sim::tick::{ns, us, Frequency};
+
+fn msb(cfg: &SystemConfig, spec: AppSpec, size: usize, lo: f64, hi: f64) -> f64 {
+    find_msb(cfg, &spec, size, lo, hi, 5, RunConfig::for_app(&spec)).msb_or_zero()
+}
+
+/// §Abstract: userspace networking lifts bandwidth by several-fold over
+/// the kernel stack (paper: 6.3x).
+#[test]
+fn userspace_severalfold_over_kernel() {
+    let cfg = SystemConfig::gem5();
+    let kernel = msb(&cfg, AppSpec::Iperf, 1518, 0.5, 40.0);
+    let dpdk = msb(&cfg, AppSpec::TestPmd, 1518, 1.0, 90.0);
+    assert!(
+        (8.0..14.0).contains(&kernel),
+        "kernel ceiling ~10 Gbps (paper §II.B): {kernel:.1}"
+    );
+    assert!(dpdk > 50.0, "userspace >50 Gbps (paper §VIII): {dpdk:.1}");
+    assert!(dpdk / kernel > 3.5, "severalfold: {:.1}x", dpdk / kernel);
+}
+
+/// Fig. 14: DCA improves TestPMD MSB, most at mid packet sizes.
+#[test]
+fn dca_improves_testpmd() {
+    let on = SystemConfig::gem5().with_dca(true);
+    let off = SystemConfig::gem5().with_dca(false);
+    let with_dca = msb(&on, AppSpec::TestPmd, 512, 1.0, 90.0);
+    let without = msb(&off, AppSpec::TestPmd, 512, 1.0, 90.0);
+    assert!(
+        with_dca > without * 1.05,
+        "DCA must help at 512B: on={with_dca:.1} off={without:.1}"
+    );
+}
+
+/// Fig. 15: core frequency scales a core-bound workload (TouchFwd).
+#[test]
+fn frequency_scales_touchfwd() {
+    let slow = SystemConfig::gem5().with_frequency(Frequency::ghz(1.0));
+    let fast = SystemConfig::gem5().with_frequency(Frequency::ghz(4.0));
+    let at1 = msb(&slow, AppSpec::TouchFwd, 512, 0.25, 30.0);
+    let at4 = msb(&fast, AppSpec::TouchFwd, 512, 0.25, 30.0);
+    assert!(
+        at4 > at1 * 2.0,
+        "4 GHz should far outrun 1 GHz: {at1:.1} -> {at4:.1}"
+    );
+}
+
+/// Fig. 16: the OoO core beats in-order where core-bound, and large-packet
+/// TestPMD (IO-bound) is insensitive.
+#[test]
+fn core_kind_sensitivity_matches_paper() {
+    let ooo = SystemConfig::gem5();
+    let ino = SystemConfig::gem5().with_core_kind(CoreKind::InOrder);
+    let touch_ooo = msb(&ooo, AppSpec::TouchFwd, 128, 0.25, 30.0);
+    let touch_ino = msb(&ino, AppSpec::TouchFwd, 128, 0.25, 30.0);
+    assert!(
+        touch_ooo > touch_ino * 1.5,
+        "TouchFwd gains from OoO: {touch_ino:.1} -> {touch_ooo:.1}"
+    );
+    let pmd_ooo = msb(&ooo, AppSpec::TestPmd, 1518, 1.0, 90.0);
+    let pmd_ino = msb(&ino, AppSpec::TestPmd, 1518, 1.0, 90.0);
+    assert!(
+        (pmd_ooo - pmd_ino).abs() / pmd_ooo < 0.1,
+        "TestPMD-1518B is IO-bound, core-insensitive: {pmd_ino:.1} vs {pmd_ooo:.1}"
+    );
+}
+
+/// Fig. 11: shrinking L2 below the DPDK working set hurts TestPMD, and
+/// iperf keeps gaining beyond 1 MiB (kernel working set is bigger).
+#[test]
+fn l2_working_set_boundaries() {
+    let small = SystemConfig::gem5().with_l2_size(256 << 10);
+    let normal = SystemConfig::gem5();
+    let big = SystemConfig::gem5().with_l2_size(4 << 20);
+
+    let pmd_small = msb(&small, AppSpec::TestPmd, 128, 1.0, 60.0);
+    let pmd_normal = msb(&normal, AppSpec::TestPmd, 128, 1.0, 60.0);
+    assert!(
+        pmd_normal > pmd_small,
+        "256KiB L2 must hurt DPDK: {pmd_small:.1} vs {pmd_normal:.1}"
+    );
+
+    let iperf_normal = msb(&normal, AppSpec::Iperf, 1518, 0.5, 30.0);
+    let iperf_big = msb(&big, AppSpec::Iperf, 1518, 0.5, 30.0);
+    assert!(
+        iperf_big > iperf_normal * 1.02,
+        "iperf keeps gaining past 1MiB L2: {iperf_normal:.2} -> {iperf_big:.2}"
+    );
+}
+
+/// Fig. 12: LLC size is inert for a single network application.
+#[test]
+fn llc_size_is_inert() {
+    let a = msb(
+        &SystemConfig::gem5().with_llc_size(4 << 20),
+        AppSpec::TestPmd,
+        128,
+        1.0,
+        60.0,
+    );
+    let b = msb(
+        &SystemConfig::gem5().with_llc_size(64 << 20),
+        AppSpec::TestPmd,
+        128,
+        1.0,
+        60.0,
+    );
+    assert!(
+        (a - b).abs() / a < 0.08,
+        "4MiB vs 64MiB LLC should not matter: {a:.1} vs {b:.1}"
+    );
+}
+
+/// Fig. 13: growing RXpTX's processing interval eventually produces drops
+/// and raises the LLC miss rate (the DMA leak out of the DCA partition).
+#[test]
+fn dma_leak_appears_with_slow_processing() {
+    let cfg = SystemConfig::gem5().with_llc_size(1 << 20).with_rx_ring(4096);
+    let fast = run_point(&cfg, &AppSpec::RxpTx(ns(10)), 256, 20.0, RunConfig::fast());
+    let slow = run_point(&cfg, &AppSpec::RxpTx(us(10)), 256, 20.0, RunConfig::fast());
+    assert!(fast.drop_rate < 0.01, "10ns processing sustains 20 Gbps");
+    assert!(slow.drop_rate > 0.05, "10us processing cannot: {}", slow.drop_rate);
+    assert!(
+        slow.llc_miss_rate > fast.llc_miss_rate + 0.05,
+        "ring backlog leaks out of the DCA ways: {:.3} -> {:.3}",
+        fast.llc_miss_rate,
+        slow.llc_miss_rate
+    );
+}
+
+/// Fig. 6's client artifact: the altra preset's software client cannot
+/// offer more than its packet-rate ceiling at small packet sizes.
+#[test]
+fn altra_client_ceiling_binds_small_packets() {
+    let altra = SystemConfig::altra();
+    let s = run_point(&altra, &AppSpec::TestPmd, 64, 60.0, RunConfig::fast());
+    // 15.6 Mpps * 64B = ~8 Gbps of offered load, no matter what was asked.
+    assert!(
+        s.report.offered_gbps < 9.0,
+        "client caps 64B offered load near 8 Gbps: {:.1}",
+        s.report.offered_gbps
+    );
+    assert!(s.drop_rate < 0.01, "the capped load is trivially sustained");
+}
