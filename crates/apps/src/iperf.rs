@@ -112,7 +112,10 @@ impl IperfTcp {
         reply_flags: u8,
         seq: u32,
     ) -> Packet {
-        let eth = request.packet.ethernet().expect("parsed frame has ethernet");
+        let eth = request
+            .packet
+            .ethernet()
+            .expect("parsed frame has ethernet");
         let header = tcp::TcpHeader::new(
             tcp_in.dst_port,
             tcp_in.src_port,
@@ -270,9 +273,11 @@ mod tests {
 
         // A hole: segment at 1301 while 1101 is expected -> duplicate ACK.
         let seg_hole = TcpHeader::new(40_001, 5_001, 1_301, 0, flags::ACK | flags::PSH, 0xFFFF);
-        let AppAction::Respond(dup) =
-            app.on_packet(&tcp_completion(seg_hole, &[9u8; 100]), 0x5000_0000, &mut ops)
-        else {
+        let AppAction::Respond(dup) = app.on_packet(
+            &tcp_completion(seg_hole, &[9u8; 100]),
+            0x5000_0000,
+            &mut ops,
+        ) else {
             panic!("holes get duplicate ACKs");
         };
         let (_, hd, _) = parse_tcp_frame(&dup).unwrap();
@@ -282,7 +287,11 @@ mod tests {
 
         // The retransmission fills the hole.
         let seg_fill = TcpHeader::new(40_001, 5_001, 1_101, 0, flags::ACK | flags::PSH, 0xFFFF);
-        app.on_packet(&tcp_completion(seg_fill, &[9u8; 100]), 0x5000_0000, &mut ops);
+        app.on_packet(
+            &tcp_completion(seg_fill, &[9u8; 100]),
+            0x5000_0000,
+            &mut ops,
+        );
         assert_eq!(app.bytes(), 200);
     }
 

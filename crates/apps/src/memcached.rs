@@ -89,8 +89,7 @@ impl Server {
             .packet
             .ethernet()
             .expect("udp() implies a valid ethernet header");
-        let natural =
-            ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN + datagram.len();
+        let natural = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN + datagram.len();
         let reply: Packet = PacketBuilder::new()
             .dst(eth.src)
             .src(eth.dst)
@@ -207,7 +206,9 @@ impl PacketApp for MemcachedKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simnet_net::proto::memcached::{decode_response_datagram, encode_request_datagram, nth_key};
+    use simnet_net::proto::memcached::{
+        decode_response_datagram, encode_request_datagram, nth_key,
+    };
     use simnet_net::MacAddr;
     use simnet_sim::random::{SimRng, Zipf};
 
@@ -235,15 +236,9 @@ mod tests {
     #[test]
     fn get_hit_produces_addressed_reply() {
         let mut app = MemcachedDpdk::new(warmed_store());
-        let completion = request_packet(
-            42,
-            &Request::Get {
-                key: nth_key(5),
-            },
-        );
+        let completion = request_packet(42, &Request::Get { key: nth_key(5) });
         let mut ops = Vec::new();
-        let AppAction::Respond(reply) = app.on_packet(&completion, 0x5000_0000, &mut ops)
-        else {
+        let AppAction::Respond(reply) = app.on_packet(&completion, 0x5000_0000, &mut ops) else {
             panic!("server must respond");
         };
         // Reply goes back to the requester with swapped addressing.

@@ -112,6 +112,21 @@ mod tests {
     }
 
     #[test]
+    fn forwarding_preserves_packet_identity() {
+        // The trace layer (`simnet_sim::trace`) follows one packet id from
+        // injection through the TX mirror; an app that forwards under a
+        // fresh id would break every echoed lifecycle in the trace.
+        for mode in [ForwardMode::Io, ForwardMode::MacSwap] {
+            let mut app = TestPmd::with_mode(mode);
+            let mut ops = Vec::new();
+            let AppAction::Forward(pkt) = app.on_packet(&completion(256), 0, &mut ops) else {
+                panic!("forwards");
+            };
+            assert_eq!(pkt.id(), 5, "forwarded packet keeps the RX packet id");
+        }
+    }
+
+    #[test]
     fn work_is_independent_of_packet_size() {
         // The shallow-function property: same op count for 64B and 1518B.
         let mut app = TestPmd::new();

@@ -2,8 +2,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use simnet_cpu::{Core, CoreConfig, Op};
-use simnet_mem::{AccessClass, Cache, CacheConfig, DramConfig, DramController, MemoryConfig, MemorySystem};
+use simnet_mem::{
+    AccessClass, Cache, CacheConfig, DramConfig, DramController, MemoryConfig, MemorySystem,
+};
 use simnet_net::{MacAddr, PacketBuilder};
+use simnet_nic::{Nic, NicConfig};
+use simnet_sim::trace::Tracer;
 use simnet_sim::EventQueue;
 
 fn bench_event_queue(c: &mut Criterion) {
@@ -43,7 +47,7 @@ fn bench_dram(c: &mut Criterion) {
         let mut addr = 0u64;
         b.iter(|| {
             addr += 64;
-            now = dram.access(now, addr, addr % 128 == 0);
+            now = dram.access(now, addr, addr.is_multiple_of(128));
             now
         })
     });
@@ -95,10 +99,58 @@ fn bench_packet_build(c: &mut Criterion) {
     });
 }
 
+/// The NIC RX hot path with tracing disabled (the default — one `Option`
+/// null-check per emit site) versus enabled. The disabled variant is the
+/// cost every ordinary run pays for the trace layer existing at all.
+fn bench_nic_trace_overhead(c: &mut Criterion) {
+    fn rx_loop(
+        nic: &mut Nic,
+        mem: &mut MemorySystem,
+        builder: &mut PacketBuilder,
+        now: &mut u64,
+        id: &mut u64,
+    ) -> u64 {
+        *id += 1;
+        *now += 30_000;
+        let _ = nic.wire_rx(*now, builder.build(*id));
+        if let Some(t) = nic.rx_dma_start(*now, mem) {
+            *now = (*now).max(t);
+        }
+        while let Some(t) = nic.rx_dma_advance(*now, mem) {
+            *now = (*now).max(t);
+        }
+        let polled = nic.rx_poll(*now, 32);
+        nic.rx_ring_post(polled.len());
+        *now
+    }
+    let mut builder = PacketBuilder::new();
+    builder
+        .dst(MacAddr::simulated(1))
+        .src(MacAddr::simulated(9))
+        .frame_len(1518);
+
+    c.bench_function("nic_rx_path_trace_disabled", |b| {
+        let mut mem = MemorySystem::new(MemoryConfig::table1_gem5());
+        let mut nic = Nic::new(NicConfig::paper_default());
+        nic.rx_ring_post(1024);
+        let (mut now, mut id) = (0u64, 0u64);
+        b.iter(|| rx_loop(&mut nic, &mut mem, &mut builder, &mut now, &mut id))
+    });
+    c.bench_function("nic_rx_path_trace_enabled", |b| {
+        let mut mem = MemorySystem::new(MemoryConfig::table1_gem5());
+        let mut nic = Nic::new(NicConfig::paper_default());
+        // A small ring in drop-oldest mode: steady-state cost, no growth.
+        nic.set_tracer(Tracer::enabled(4096));
+        nic.rx_ring_post(1024);
+        let (mut now, mut id) = (0u64, 0u64);
+        b.iter(|| rx_loop(&mut nic, &mut mem, &mut builder, &mut now, &mut id))
+    });
+}
+
 criterion_group! {
     name = components;
     config = Criterion::default().sample_size(20);
     targets = bench_event_queue, bench_cache, bench_dram, bench_memory_system,
-              bench_core, bench_packet_build
+              bench_core, bench_packet_build, bench_nic_trace_overhead
 }
 criterion_main!(components);

@@ -104,7 +104,11 @@ fn bench_fig09(c: &mut Criterion) {
 
 fn msb_row(cfg: &SystemConfig, label: &str, spec: AppSpec, size: usize) {
     let m = find_msb(cfg, &spec, size, 0.5, 90.0, 5, RunConfig::fast());
-    println!("{label}: {} {size}B MSB = {:.1} Gbps", spec.label(), m.msb_or_zero());
+    println!(
+        "{label}: {} {size}B MSB = {:.1} Gbps",
+        spec.label(),
+        m.msb_or_zero()
+    );
 }
 
 fn bench_fig10(c: &mut Criterion) {
@@ -115,7 +119,17 @@ fn bench_fig10(c: &mut Criterion) {
     }
     let cfg = SystemConfig::gem5().with_l1_size(16 << 10);
     c.bench_function("fig10_l1_msb", |b| {
-        b.iter(|| find_msb(&cfg, &AppSpec::TestPmd, 128, 1.0, 60.0, 4, RunConfig::fast()))
+        b.iter(|| {
+            find_msb(
+                &cfg,
+                &AppSpec::TestPmd,
+                128,
+                1.0,
+                60.0,
+                4,
+                RunConfig::fast(),
+            )
+        })
     });
 }
 
@@ -127,7 +141,17 @@ fn bench_fig11(c: &mut Criterion) {
     }
     let cfg = SystemConfig::gem5().with_l2_size(256 << 10);
     c.bench_function("fig11_l2_msb", |b| {
-        b.iter(|| find_msb(&cfg, &AppSpec::TestPmd, 128, 1.0, 60.0, 4, RunConfig::fast()))
+        b.iter(|| {
+            find_msb(
+                &cfg,
+                &AppSpec::TestPmd,
+                128,
+                1.0,
+                60.0,
+                4,
+                RunConfig::fast(),
+            )
+        })
     });
 }
 
@@ -135,17 +159,34 @@ fn bench_fig12(c: &mut Criterion) {
     print_header("Fig. 12 — LLC size sensitivity");
     for llc in [4u64 << 20, 64 << 20] {
         let cfg = SystemConfig::gem5().with_llc_size(llc);
-        msb_row(&cfg, &format!("LLC {}MiB", llc >> 20), AppSpec::TestPmd, 128);
+        msb_row(
+            &cfg,
+            &format!("LLC {}MiB", llc >> 20),
+            AppSpec::TestPmd,
+            128,
+        );
     }
     let cfg = SystemConfig::gem5().with_llc_size(4 << 20);
     c.bench_function("fig12_llc_msb", |b| {
-        b.iter(|| find_msb(&cfg, &AppSpec::TestPmd, 128, 1.0, 60.0, 4, RunConfig::fast()))
+        b.iter(|| {
+            find_msb(
+                &cfg,
+                &AppSpec::TestPmd,
+                128,
+                1.0,
+                60.0,
+                4,
+                RunConfig::fast(),
+            )
+        })
     });
 }
 
 fn bench_fig13(c: &mut Criterion) {
     print_header("Fig. 13 — DCA leak (processing-time sweep)");
-    let cfg = SystemConfig::gem5().with_llc_size(1 << 20).with_rx_ring(4096);
+    let cfg = SystemConfig::gem5()
+        .with_llc_size(1 << 20)
+        .with_rx_ring(4096);
     for proc in [ns(10), us(1), us(5)] {
         let s = run_point(&cfg, &AppSpec::RxpTx(proc), 256, 20.0, RunConfig::fast());
         println!(
@@ -164,11 +205,26 @@ fn bench_fig14(c: &mut Criterion) {
     print_header("Fig. 14 — DCA on/off");
     for dca in [true, false] {
         let cfg = SystemConfig::gem5().with_dca(dca);
-        msb_row(&cfg, if dca { "DCA on " } else { "DCA off" }, AppSpec::TestPmd, 512);
+        msb_row(
+            &cfg,
+            if dca { "DCA on " } else { "DCA off" },
+            AppSpec::TestPmd,
+            512,
+        );
     }
     let cfg = SystemConfig::gem5().with_dca(false);
     c.bench_function("fig14_dca_off_msb", |b| {
-        b.iter(|| find_msb(&cfg, &AppSpec::TestPmd, 512, 1.0, 60.0, 4, RunConfig::fast()))
+        b.iter(|| {
+            find_msb(
+                &cfg,
+                &AppSpec::TestPmd,
+                512,
+                1.0,
+                60.0,
+                4,
+                RunConfig::fast(),
+            )
+        })
     });
 }
 
@@ -180,7 +236,17 @@ fn bench_fig15(c: &mut Criterion) {
     }
     let cfg = SystemConfig::gem5().with_frequency(Frequency::ghz(1.0));
     c.bench_function("fig15_freq_msb", |b| {
-        b.iter(|| find_msb(&cfg, &AppSpec::TestPmd, 128, 1.0, 60.0, 4, RunConfig::fast()))
+        b.iter(|| {
+            find_msb(
+                &cfg,
+                &AppSpec::TestPmd,
+                128,
+                1.0,
+                60.0,
+                4,
+                RunConfig::fast(),
+            )
+        })
     });
 }
 
@@ -192,7 +258,17 @@ fn bench_fig16(c: &mut Criterion) {
     }
     let cfg = SystemConfig::gem5().with_core_kind(CoreKind::InOrder);
     c.bench_function("fig16_inorder_msb", |b| {
-        b.iter(|| find_msb(&cfg, &AppSpec::TouchFwd, 128, 0.25, 20.0, 4, RunConfig::fast()))
+        b.iter(|| {
+            find_msb(
+                &cfg,
+                &AppSpec::TouchFwd,
+                128,
+                0.25,
+                20.0,
+                4,
+                RunConfig::fast(),
+            )
+        })
     });
 }
 
@@ -208,7 +284,17 @@ fn bench_fig17(c: &mut Criterion) {
     }
     let cfg = SystemConfig::gem5().with_dca(false).with_channels(1);
     c.bench_function("fig17_channels_msb", |b| {
-        b.iter(|| find_msb(&cfg, &AppSpec::TestPmd, 1518, 1.0, 60.0, 4, RunConfig::fast()))
+        b.iter(|| {
+            find_msb(
+                &cfg,
+                &AppSpec::TestPmd,
+                1518,
+                1.0,
+                60.0,
+                4,
+                RunConfig::fast(),
+            )
+        })
     });
 }
 

@@ -78,7 +78,10 @@ impl CoreConfig {
 
     fn validate(&self) {
         assert!(self.width > 0, "width must be positive");
-        assert!(self.rob > 0 && self.lq > 0 && self.sq > 0, "queues must be positive");
+        assert!(
+            self.rob > 0 && self.lq > 0 && self.sq > 0,
+            "queues must be positive"
+        );
     }
 }
 
@@ -475,7 +478,10 @@ mod tests {
         let ipc = core.stats().ipc(core.config().frequency);
         assert!(ipc > 0.0 && ipc < 4.0);
         let stall = core.stats().stall_fraction();
-        assert!(stall > 0.5, "miss-bound stream should mostly stall: {stall}");
+        assert!(
+            stall > 0.5,
+            "miss-bound stream should mostly stall: {stall}"
+        );
     }
 
     #[test]

@@ -6,7 +6,10 @@ fn main() {
             let s = run_point(&cfg, &spec, 0, krps, RunConfig::long());
             println!(
                 "{:?} offered {krps} kRPS -> achieved {:.0} kRPS drop {:.3} rtt_mean {:.1}us",
-                spec, s.achieved_rps() / 1e3, s.drop_rate, s.report.latency.mean / 1e6
+                spec,
+                s.achieved_rps() / 1e3,
+                s.drop_rate,
+                s.report.latency.mean / 1e6
             );
         }
     }

@@ -1,8 +1,8 @@
 //! Diagnostic probe: one run with internal utilization printout.
 
-use simnet_harness::{run_point, AppSpec, RunConfig, SystemConfig};
 use simnet_harness::sim::Simulation;
 use simnet_harness::summary::{run_phases, Phases};
+use simnet_harness::{run_point, AppSpec, RunConfig, SystemConfig};
 use simnet_sim::tick::us;
 
 fn main() {
@@ -26,7 +26,10 @@ fn main() {
     let end = sim.now();
     println!("offered={offered} size={size}");
     println!("summary: {}", summary.report);
-    println!("fsm drops: {:?} rate {:.3}", summary.drop_counts, summary.drop_rate);
+    println!(
+        "fsm drops: {:?} rate {:.3}",
+        summary.drop_counts, summary.drop_rate
+    );
     println!(
         "io-rx util {:.2} busy {} | io-tx util {:.2}",
         node.mem.io_rx_bus().utilization(end),

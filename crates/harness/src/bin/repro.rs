@@ -4,21 +4,51 @@
 //! repro [--quick] [--out DIR] [all|table1|fig5|fig6|fig7|fig8|fig9|fig10|
 //!                              fig11|fig12|fig13|fig14|fig15|fig16|fig17|
 //!                              fig18|fig19|fig20|headline]
+//! repro --trace PATH [--trace-filter COMPONENTS] [--trace-gbps G]
 //! ```
 //!
 //! Results print as tables and are written as CSVs under `--out`
 //! (default `results/`).
+//!
+//! With `--trace PATH` the binary instead runs one short, deliberately
+//! overloaded TestPMD point with the packet-lifecycle trace layer enabled
+//! and writes the trace to `PATH` — canonical text, or JSON when `PATH`
+//! ends in `.json`. `--trace-filter` limits the trace to a comma-separated
+//! component list (`loadgen,link,nic,mem,stack,app,sim`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use simnet_harness::experiments::{self, Effort, ExperimentOutput};
+use simnet_harness::{run_traced, AppSpec, RunConfig, SystemConfig};
+use simnet_sim::trace::{self, Component, Stage};
 
 const EXPERIMENTS: &[&str] = &[
-    "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "headline",
-    "ablation-wb", "ablation-dca-ways", "ablation-open-closed", "ablation-hugepages",
-    "ablation-itr", "tcp", "latency-hist",
+    "table1",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "headline",
+    "ablation-wb",
+    "ablation-dca-ways",
+    "ablation-open-closed",
+    "ablation-hugepages",
+    "ablation-itr",
+    "tcp",
+    "latency-hist",
 ];
 
 fn run_one(name: &str, effort: Effort) -> Option<ExperimentOutput> {
@@ -53,10 +83,78 @@ fn run_one(name: &str, effort: Effort) -> Option<ExperimentOutput> {
     Some(out)
 }
 
+/// Runs one traced TestPMD point and writes the serialized trace.
+fn run_trace_mode(path: &PathBuf, mask: u32, offered_gbps: f64) -> ExitCode {
+    let cfg = SystemConfig::gem5();
+    let spec = AppSpec::TestPmd;
+    let rc = RunConfig::fast();
+    println!(
+        "tracing {} @ {offered_gbps:.1} Gbps (1518 B frames, fast phases)",
+        spec.label()
+    );
+    let run = run_traced(&cfg, &spec, 1518, offered_gbps, rc, 1 << 22, mask);
+
+    // The FSM counters reset at the end of warm-up; compare only trace
+    // drops inside the measurement window so the cross-check is exact.
+    let (mut dma, mut core, mut tx) = (0u64, 0u64, 0u64);
+    for ev in &run.events {
+        if ev.tick <= rc.phases.warmup {
+            continue;
+        }
+        if let Stage::Drop { class, .. } = ev.stage {
+            match class {
+                trace::DropClass::Dma => dma += 1,
+                trace::DropClass::Core => core += 1,
+                trace::DropClass::Tx => tx += 1,
+            }
+        }
+    }
+
+    let serialized = if path.extension().is_some_and(|e| e == "json") {
+        trace::json(&run.events)
+    } else {
+        run.canonical_text()
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create {}: {e}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(path, serialized) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "wrote {} events to {} (evicted {}, hash {:016x})",
+        run.events.len(),
+        path.display(),
+        run.evicted,
+        run.hash()
+    );
+    println!(
+        "trace drops (measure window): dma={dma} core={core} tx={tx}; \
+         fsm counters: dma={} core={} tx={}",
+        run.summary.drop_counts.0, run.summary.drop_counts.1, run.summary.drop_counts.2
+    );
+    println!(
+        "achieved {:.2} Gbps, drop rate {:.4}",
+        run.summary.achieved_gbps(),
+        run.summary.drop_rate
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut effort = Effort::Full;
     let mut out_dir = PathBuf::from("results");
     let mut targets: Vec<String> = Vec::new();
+    let mut trace_path: Option<PathBuf> = None;
+    let mut trace_mask = Component::ALL_MASK;
+    let mut trace_gbps = 60.0;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -69,15 +167,45 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace" => match args.next() {
+                Some(p) => trace_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--trace requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace-filter" => match args.next().as_deref().map(trace::parse_filter) {
+                Some(Ok(mask)) => trace_mask = mask,
+                Some(Err(e)) => {
+                    eprintln!("--trace-filter: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--trace-filter requires a component list");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace-gbps" => match args.next().and_then(|g| g.parse::<f64>().ok()) {
+                Some(g) => trace_gbps = g,
+                None => {
+                    eprintln!("--trace-gbps requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--out DIR] [all|{}]",
+                    "usage: repro [--quick] [--out DIR] [all|{}]\n\
+                     \x20      repro --trace PATH [--trace-filter COMPONENTS] [--trace-gbps G]",
                     EXPERIMENTS.join("|")
                 );
                 return ExitCode::SUCCESS;
             }
             other => targets.push(other.to_string()),
         }
+    }
+
+    if let Some(path) = trace_path {
+        return run_trace_mode(&path, trace_mask, trace_gbps);
     }
     if targets.is_empty() || targets.iter().any(|t| t == "all") {
         targets = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
@@ -89,10 +217,7 @@ fn main() -> ExitCode {
         match run_one(target, effort) {
             Some(output) => {
                 output.emit(&out_dir);
-                println!(
-                    "[{target} done in {:.1}s]",
-                    started.elapsed().as_secs_f64()
-                );
+                println!("[{target} done in {:.1}s]", started.elapsed().as_secs_f64());
             }
             None => {
                 eprintln!(

@@ -51,12 +51,7 @@ impl PacketApp for SoftwareClient {
         "software-loadgen"
     }
 
-    fn on_packet(
-        &mut self,
-        completion: &RxCompletion,
-        _buf: Addr,
-        ops: &mut Vec<Op>,
-    ) -> AppAction {
+    fn on_packet(&mut self, completion: &RxCompletion, _buf: Addr, ops: &mut Vec<Op>) -> AppAction {
         ops.push(Op::Compute(self.per_rx_instructions));
         self.gen.on_rx(completion.visible_at, &completion.packet);
         AppAction::Consume

@@ -48,7 +48,13 @@ pub fn writeback_threshold(effort: Effort) -> ExperimentOutput {
 
     let mut t = Table::new(
         "Ablation — RX descriptor writeback threshold (§III.A.3), TestPMD 256B @ 41 Gbps",
-        &["threshold", "drop", "RTT mean(ns)", "RTT p99(ns)", "achieved(Gbps)"],
+        &[
+            "threshold",
+            "drop",
+            "RTT mean(ns)",
+            "RTT p99(ns)",
+            "achieved(Gbps)",
+        ],
     );
     for (threshold, s) in rows {
         t.row(vec![
@@ -118,7 +124,13 @@ pub fn open_vs_closed(effort: Effort) -> ExperimentOutput {
 
     let mut t = Table::new(
         "Ablation — open vs closed load generation (MemcachedDPDK)",
-        &["client", "achieved(kRPS)", "unanswered", "RTT mean(us)", "RTT p99(us)"],
+        &[
+            "client",
+            "achieved(kRPS)",
+            "unanswered",
+            "RTT mean(us)",
+            "RTT p99(us)",
+        ],
     );
 
     // Open loop: fixed-rate arrivals regardless of responses.
@@ -229,7 +241,13 @@ pub fn interrupt_coalescing(effort: Effort) -> ExperimentOutput {
     let rate = 50.0; // kRPS
     let mut t = Table::new(
         "Ablation — kernel interrupt coalescing (MemcachedKernel @ 50 kRPS)",
-        &["ITR", "RTT mean(us)", "RTT p99(us)", "achieved(kRPS)", "events"],
+        &[
+            "ITR",
+            "RTT mean(us)",
+            "RTT p99(us)",
+            "achieved(kRPS)",
+            "events",
+        ],
     );
     let rows = par_map(itrs.to_vec(), |itr| {
         let mut stack = KernelStack::new(cfg.seed);

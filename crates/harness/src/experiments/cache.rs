@@ -72,7 +72,11 @@ fn sweep(
         t.row(vec![
             spec.label(),
             label.to_string(),
-            if spec.uses_rps() { "-".into() } else { size.to_string() },
+            if spec.uses_rps() {
+                "-".into()
+            } else {
+                size.to_string()
+            },
             fmt_f64(msb),
         ]);
     }

@@ -72,7 +72,11 @@ pub fn fig15(effort: Effort) -> ExperimentOutput {
     for (spec, ghz, size, msb) in rows {
         t.row(vec![
             spec.label(),
-            if spec.uses_rps() { "-".into() } else { size.to_string() },
+            if spec.uses_rps() {
+                "-".into()
+            } else {
+                size.to_string()
+            },
             format!("{ghz:.0}"),
             fmt_f64(msb),
         ]);
@@ -91,7 +95,11 @@ pub fn fig15(effort: Effort) -> ExperimentOutput {
 pub fn fig16(effort: Effort) -> ExperimentOutput {
     let mut jobs = Vec::new();
     for spec in all_apps() {
-        let sizes: Vec<usize> = if spec.uses_rps() { vec![0] } else { vec![128, 1518] };
+        let sizes: Vec<usize> = if spec.uses_rps() {
+            vec![0]
+        } else {
+            vec![128, 1518]
+        };
         for kind in [CoreKind::OutOfOrder, CoreKind::InOrder] {
             for &size in &sizes {
                 jobs.push((spec, kind, size));
@@ -109,7 +117,11 @@ pub fn fig16(effort: Effort) -> ExperimentOutput {
     for (spec, kind, size, msb) in rows {
         t.row(vec![
             spec.label(),
-            if spec.uses_rps() { "-".into() } else { size.to_string() },
+            if spec.uses_rps() {
+                "-".into()
+            } else {
+                size.to_string()
+            },
             match kind {
                 CoreKind::OutOfOrder => "OoO".into(),
                 CoreKind::InOrder => "InOrder".into(),

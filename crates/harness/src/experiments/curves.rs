@@ -15,15 +15,16 @@ use crate::table::{fmt_f64, fmt_pct, Table};
 
 use super::{par_map, Effort, ExperimentOutput};
 
-fn curve(
-    title: &str,
-    spec: AppSpec,
-    effort: Effort,
-    hi_gbps: f64,
-) -> Table {
+fn curve(title: &str, spec: AppSpec, effort: Effort, hi_gbps: f64) -> Table {
     let mut t = Table::new(
         title,
-        &["config", "size(B)", "offered(Gbps)", "achieved(Gbps)", "drop"],
+        &[
+            "config",
+            "size(B)",
+            "offered(Gbps)",
+            "achieved(Gbps)",
+            "drop",
+        ],
     );
     let mut jobs = Vec::new();
     for cfg in [SystemConfig::gem5(), SystemConfig::altra()] {
@@ -60,7 +61,12 @@ pub fn fig06(effort: Effort) -> ExperimentOutput {
     let mut out = ExperimentOutput::default();
     out.table(
         "fig06_testpmd_bw_vs_drop",
-        curve("Fig. 6 — TestPMD bandwidth vs drop rate", AppSpec::TestPmd, effort, 90.0),
+        curve(
+            "Fig. 6 — TestPMD bandwidth vs drop rate",
+            AppSpec::TestPmd,
+            effort,
+            90.0,
+        ),
     );
     out.note(
         "Paper: gem5 saturates ~53 Gbps at 512B and ~56 Gbps at 1518B (DMA-bound); \
@@ -75,7 +81,12 @@ pub fn fig07(effort: Effort) -> ExperimentOutput {
     let mut out = ExperimentOutput::default();
     out.table(
         "fig07_touchfwd_bw_vs_drop",
-        curve("Fig. 7 — TouchFwd bandwidth vs drop rate", AppSpec::TouchFwd, effort, 30.0),
+        curve(
+            "Fig. 7 — TouchFwd bandwidth vs drop rate",
+            AppSpec::TouchFwd,
+            effort,
+            30.0,
+        ),
     );
     out.note(
         "Paper: TouchFwd drops at much lower bandwidth (single-digit Gbps for \

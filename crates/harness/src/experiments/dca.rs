@@ -144,7 +144,11 @@ pub fn fig14(effort: Effort) -> ExperimentOutput {
     for (spec, dca, size, msb) in rows {
         t.row(vec![
             spec.label(),
-            if spec.uses_rps() { "-".into() } else { size.to_string() },
+            if spec.uses_rps() {
+                "-".into()
+            } else {
+                size.to_string()
+            },
             if dca { "enabled" } else { "disabled" }.into(),
             fmt_f64(msb),
         ]);

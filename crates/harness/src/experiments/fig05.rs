@@ -47,7 +47,11 @@ pub fn run(effort: Effort) -> ExperimentOutput {
         // Find the knee, then escalate the load past it until the NIC
         // actually sheds packets (ring/FIFO buffering absorbs small
         // overshoots for the whole measurement window).
-        let (lo, hi) = if spec.uses_rps() { (50.0, 4_000.0) } else { (0.5, 95.0) };
+        let (lo, hi) = if spec.uses_rps() {
+            (50.0, 4_000.0)
+        } else {
+            (0.5, 95.0)
+        };
         let msb = find_msb(&cfg, &spec, size.max(64), lo, hi, effort.ramp_steps(), rc);
         let knee = msb.msb_or_zero().max(lo);
         let mut factor = 1.25;
@@ -63,7 +67,9 @@ pub fn run(effort: Effort) -> ExperimentOutput {
 
     let mut t = Table::new(
         "Fig. 5 — drop breakdown at the knee (gem5 config)",
-        &["Workload", "Load", "CoreDrop", "DmaDrop", "TxDrop", "DropRate"],
+        &[
+            "Workload", "Load", "CoreDrop", "DmaDrop", "TxDrop", "DropRate",
+        ],
     );
     for (spec, size, at, s) in results {
         let name = if spec.uses_rps() {

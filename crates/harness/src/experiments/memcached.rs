@@ -80,11 +80,20 @@ pub fn fig19(effort: Effort) -> ExperimentOutput {
     // Normalize latency to the 3 GHz core at each rate (the paper's "NL").
     let mut t = Table::new(
         "Fig. 19 — memcached response latency (normalized to 3 GHz) and drop rate vs frequency",
-        &["app", "kRPS", "freq(GHz)", "latency(us)", "normalized", "drop"],
+        &[
+            "app",
+            "kRPS",
+            "freq(GHz)",
+            "latency(us)",
+            "normalized",
+            "drop",
+        ],
     );
     let baseline = |spec: AppSpec, krps: f64| -> Option<f64> {
         rows.iter()
-            .find(|(s, g, r, _, _)| *s == spec && (*g - 3.0).abs() < 1e-9 && (*r - krps).abs() < 1e-9)
+            .find(|(s, g, r, _, _)| {
+                *s == spec && (*g - 3.0).abs() < 1e-9 && (*r - krps).abs() < 1e-9
+            })
             .map(|(_, _, _, lat, _)| *lat)
     };
     for (spec, ghz, krps, lat, drop) in &rows {

@@ -82,27 +82,32 @@ where
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let queue: crossbeam::queue::SegQueue<(usize, T)> = crossbeam::queue::SegQueue::new();
     let n = items.len();
-    for pair in items.into_iter().enumerate() {
-        queue.push(pair);
-    }
-    let results: crossbeam::queue::SegQueue<(usize, R)> = crossbeam::queue::SegQueue::new();
-    crossbeam::thread::scope(|scope| {
+    let work: std::sync::Mutex<std::vec::IntoIter<(usize, T)>> = std::sync::Mutex::new(
+        items
+            .into_iter()
+            .enumerate()
+            .collect::<Vec<_>>()
+            .into_iter(),
+    );
+    let results: std::sync::Mutex<Vec<Option<R>>> =
+        std::sync::Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
-                while let Some((idx, item)) = queue.pop() {
-                    results.push((idx, f(item)));
-                }
+            scope.spawn(|| loop {
+                let next = work.lock().expect("work queue lock").next();
+                let Some((idx, item)) = next else { break };
+                let r = f(item);
+                results.lock().expect("results lock")[idx] = Some(r);
             });
         }
-    })
-    .expect("worker threads do not panic");
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    while let Some((idx, r)) = results.pop() {
-        out[idx] = Some(r);
-    }
-    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+    });
+    results
+        .into_inner()
+        .expect("results lock")
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 /// An experiment's output: named tables plus free-form notes comparing

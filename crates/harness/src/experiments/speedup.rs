@@ -39,7 +39,11 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     // Wall-clock comparisons must run sequentially (parallel runs would
     // contend for cores and distort times).
     for spec in [AppSpec::MemcachedKernel, AppSpec::MemcachedDpdk] {
-        let rate = if spec == AppSpec::MemcachedKernel { 150.0 } else { 500.0 };
+        let rate = if spec == AppSpec::MemcachedKernel {
+            150.0
+        } else {
+            500.0
+        };
         for kind in kinds {
             for &ghz in freqs {
                 let cfg = SystemConfig::gem5()

@@ -43,8 +43,20 @@ pub fn run() -> ExperimentOutput {
     row(
         &mut t,
         "L1I/L1D (size, assoc)",
-        format!("{}KB,{} / {}KB,{}", gem5.mem.l1i.size >> 10, gem5.mem.l1i.assoc, gem5.mem.l1d.size >> 10, gem5.mem.l1d.assoc),
-        format!("{}KB,{} / {}KB,{}", altra.mem.l1i.size >> 10, altra.mem.l1i.assoc, altra.mem.l1d.size >> 10, altra.mem.l1d.assoc),
+        format!(
+            "{}KB,{} / {}KB,{}",
+            gem5.mem.l1i.size >> 10,
+            gem5.mem.l1i.assoc,
+            gem5.mem.l1d.size >> 10,
+            gem5.mem.l1d.assoc
+        ),
+        format!(
+            "{}KB,{} / {}KB,{}",
+            altra.mem.l1i.size >> 10,
+            altra.mem.l1i.assoc,
+            altra.mem.l1d.size >> 10,
+            altra.mem.l1d.assoc
+        ),
     );
     row(
         &mut t,
@@ -55,8 +67,14 @@ pub fn run() -> ExperimentOutput {
     row(
         &mut t,
         "L1I/L1D/L2 latency (cycles)",
-        format!("{}/{}/{}", gem5.mem.l1i_cycles, gem5.mem.l1d_cycles, gem5.mem.l2_cycles),
-        format!("{}/{}/{}", altra.mem.l1i_cycles, altra.mem.l1d_cycles, altra.mem.l2_cycles),
+        format!(
+            "{}/{}/{}",
+            gem5.mem.l1i_cycles, gem5.mem.l1d_cycles, gem5.mem.l2_cycles
+        ),
+        format!(
+            "{}/{}/{}",
+            altra.mem.l1i_cycles, altra.mem.l1d_cycles, altra.mem.l2_cycles
+        ),
     );
     row(
         &mut t,
@@ -67,8 +85,18 @@ pub fn run() -> ExperimentOutput {
     row(
         &mut t,
         "DCA/DDIO",
-        if gem5.mem.dca_enabled { "enabled" } else { "disabled" }.into(),
-        if altra.mem.dca_enabled { "enabled" } else { "disabled" }.into(),
+        if gem5.mem.dca_enabled {
+            "enabled"
+        } else {
+            "disabled"
+        }
+        .into(),
+        if altra.mem.dca_enabled {
+            "enabled"
+        } else {
+            "disabled"
+        }
+        .into(),
     );
     row(
         &mut t,

@@ -45,7 +45,14 @@ pub fn run(effort: Effort) -> ExperimentOutput {
 
     let mut t = Table::new(
         "Extension — TCP stream goodput vs client window (kernel stack, 1448B MSS)",
-        &["window(seg)", "goodput(Gbps)", "retx", "timeouts", "RTT mean(us)", "NIC drop"],
+        &[
+            "window(seg)",
+            "goodput(Gbps)",
+            "retx",
+            "timeouts",
+            "RTT mean(us)",
+            "NIC drop",
+        ],
     );
     for (window, goodput, retx, timeouts, rtt, drop) in rows {
         t.row(vec![

@@ -13,6 +13,8 @@
 //!   Drive Node in dual-mode runs.
 //! * [`msb`] — maximum-sustainable-bandwidth search and per-point runs.
 //! * [`table`] — plain-text/CSV result rendering.
+//! * [`tracerun`] — single-point runs with the packet-lifecycle trace
+//!   layer attached (`--trace` in the `repro` binary).
 //! * [`experiments`] — one module per paper table/figure.
 
 pub mod client_app;
@@ -23,6 +25,7 @@ pub mod sim;
 pub mod stats_dump;
 pub mod summary;
 pub mod table;
+pub mod tracerun;
 
 pub use client_app::SoftwareClient;
 pub use config::SystemConfig;
@@ -30,3 +33,4 @@ pub use msb::{find_msb, run_point, AppSpec, MsbResult, RunConfig};
 pub use sim::Simulation;
 pub use stats_dump::stats_text;
 pub use summary::RunSummary;
+pub use tracerun::{run_traced, run_traced_all, TracedRun};

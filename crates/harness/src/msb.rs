@@ -225,7 +225,7 @@ pub fn run_dual_point(
 }
 
 /// A completed MSB search.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct MsbResult {
     /// The knee (Gbps or kRPS), `None` if even the lowest load dropped.
     pub msb: Option<f64>,

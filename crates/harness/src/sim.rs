@@ -16,7 +16,8 @@ use simnet_net::pcap::PcapWriter;
 use simnet_net::Packet;
 use simnet_nic::{EtherLink, Nic};
 use simnet_pci::devbind::DevBind;
-use simnet_sim::{EventQueue, Priority, Tick};
+use simnet_sim::trace::{Component, Stage, TraceEvent, Tracer, NO_PACKET};
+use simnet_sim::{tick, EventQueue, Priority, Tick};
 use simnet_stack::dpdk::{Eal, EalConfig};
 use simnet_stack::{NetworkStack, PacketApp};
 
@@ -39,6 +40,8 @@ enum Ev {
     TxWire { node: usize },
     /// One software stack iteration.
     Software { node: usize },
+    /// Periodic stat-sampling probe (only scheduled while tracing).
+    Probe,
 }
 
 /// One simulated machine.
@@ -63,11 +66,7 @@ pub struct Node {
 }
 
 impl Node {
-    fn new(
-        cfg: &SystemConfig,
-        stack: Box<dyn NetworkStack>,
-        app: Box<dyn PacketApp>,
-    ) -> Self {
+    fn new(cfg: &SystemConfig, stack: Box<dyn NetworkStack>, app: Box<dyn PacketApp>) -> Self {
         let mut nic = Nic::new(cfg.nic);
         let mut mem = MemorySystem::new(cfg.mem);
         mem.set_core_frequency(cfg.core.frequency);
@@ -83,7 +82,8 @@ impl Node {
             .expect("extended PCI model supports uio_pci_generic");
         if stack.name() == "dpdk" {
             let mut eal = Eal::new(EalConfig::paper_default());
-            eal.init(&mut nic).expect("patched DPDK initializes on the extended NIC model");
+            eal.init(&mut nic)
+                .expect("patched DPDK initializes on the extended NIC model");
         }
         // The driver posts the full RX ring.
         let ring = cfg.nic.rx_ring_size;
@@ -119,6 +119,10 @@ pub struct Simulation {
     /// directions), producing a PCAP byte stream.
     capture: Option<PcapWriter<Vec<u8>>>,
     started: bool,
+    /// The packet-lifecycle tracer (disabled unless
+    /// [`Simulation::enable_trace`] ran before the first event).
+    tracer: Tracer,
+    probe_interval: Tick,
 }
 
 impl Simulation {
@@ -138,6 +142,8 @@ impl Simulation {
             loadgen_tx_scheduled: false,
             capture: None,
             started: false,
+            tracer: Tracer::disabled(),
+            probe_interval: tick::us(10),
         }
     }
 
@@ -162,7 +168,47 @@ impl Simulation {
             loadgen_tx_scheduled: false,
             capture: None,
             started: false,
+            tracer: Tracer::disabled(),
+            probe_interval: tick::us(10),
         }
+    }
+
+    /// Enables packet-lifecycle tracing into a ring buffer of `capacity`
+    /// events, recording only components whose bits are set in `mask`
+    /// (see `simnet_sim::trace::Component::bit`;
+    /// `Component::ALL_MASK` records everything). Clones of the tracer
+    /// handle are distributed to every node's NIC, memory system, and
+    /// stack, and to the load generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation already started.
+    pub fn enable_trace(&mut self, capacity: usize, mask: u32) {
+        assert!(!self.started, "enable_trace must precede the first run");
+        self.tracer = Tracer::enabled(capacity).with_filter(mask);
+        for node in &mut self.nodes {
+            node.nic.set_tracer(self.tracer.clone());
+            node.mem.set_tracer(self.tracer.clone());
+            node.stack.set_tracer(self.tracer.clone());
+        }
+        if let Some(lg) = &mut self.loadgen {
+            lg.set_tracer(self.tracer.clone());
+        }
+    }
+
+    /// Sets the period of the stat-sampling probe rows (default 10 µs).
+    pub fn set_probe_interval(&mut self, interval: Tick) {
+        self.probe_interval = interval.max(1);
+    }
+
+    /// The tracer handle (disabled unless [`Simulation::enable_trace`] ran).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Removes and returns all buffered trace events.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.tracer.take()
     }
 
     /// Attaches a pdump-style PCAP capture tap at the test node's port.
@@ -207,6 +253,12 @@ impl Simulation {
                 self.loadgen_tx_scheduled = true;
             }
         }
+        if self.tracer.is_enabled() {
+            // MAXIMUM priority: sample queue state after every other
+            // same-tick event has settled.
+            self.queue
+                .schedule_with_priority(self.probe_interval, Priority::MAXIMUM, Ev::Probe);
+        }
     }
 
     /// Runs the simulation until simulated tick `until`.
@@ -222,6 +274,7 @@ impl Simulation {
                 Ev::TxDma { node } => self.handle_tx_dma(now, node),
                 Ev::TxWire { node } => self.handle_tx_wire(now, node),
                 Ev::Software { node } => self.handle_software(now, node),
+                Ev::Probe => self.handle_probe(now),
             }
         }
     }
@@ -253,6 +306,14 @@ impl Simulation {
             return;
         };
         Self::tap(&mut self.capture, now, &packet);
+        self.tracer.emit(
+            now,
+            packet.id(),
+            Component::Link,
+            Stage::WireTx {
+                len: packet.len() as u32,
+            },
+        );
         let link = self.gen_link.as_mut().expect("loadgen mode has a link");
         let arrival = link.transmit(now, packet.len());
         self.queue
@@ -264,11 +325,15 @@ impl Simulation {
     }
 
     fn handle_nic_rx(&mut self, now: Tick, node: usize, packet: Packet) {
+        self.tracer
+            .emit(now, packet.id(), Component::Link, Stage::WireRx);
         let _ = self.nodes[node].nic.wire_rx(now, packet);
         self.maybe_kick_rx_dma(now, node);
     }
 
     fn handle_loadgen_rx(&mut self, now: Tick, packet: Packet) {
+        self.tracer
+            .emit(now, packet.id(), Component::Link, Stage::WireRx);
         Self::tap(&mut self.capture, now, &packet);
         let Some(lg) = &mut self.loadgen else { return };
         lg.on_rx(now, &packet);
@@ -299,8 +364,11 @@ impl Simulation {
     fn maybe_kick_tx_dma(&mut self, at: Tick, node: usize) {
         if !self.nodes[node].tx_dma_scheduled && self.nodes[node].nic.tx_dma_needs_kick() {
             self.nodes[node].tx_dma_scheduled = true;
-            self.queue
-                .schedule_with_priority(at.max(self.queue.now()), Priority::DMA, Ev::TxDma { node });
+            self.queue.schedule_with_priority(
+                at.max(self.queue.now()),
+                Priority::DMA,
+                Ev::TxDma { node },
+            );
         }
     }
 
@@ -369,11 +437,43 @@ impl Simulation {
         match wake {
             Some(at) => {
                 n.sw_scheduled = true;
-                self.queue
-                    .schedule_with_priority(at.max(end), Priority::CPU, Ev::Software { node });
+                self.queue.schedule_with_priority(
+                    at.max(end),
+                    Priority::CPU,
+                    Ev::Software { node },
+                );
             }
             None => n.sw_waiting = true,
         }
+    }
+
+    /// Emits one stat-sampling row pair per node (queue occupancies and
+    /// cumulative LLC counters) and reschedules itself.
+    fn handle_probe(&mut self, now: Tick) {
+        for node in &mut self.nodes {
+            self.tracer.emit(
+                now,
+                NO_PACKET,
+                Component::Sim,
+                Stage::ProbeQueues {
+                    fifo_used: node.nic.rx_fifo_used(),
+                    ring_free: node.nic.rx_descriptors_available() as u32,
+                    tx_used: node.nic.tx_ring_used() as u32,
+                    visible: node.nic.rx_visible_len() as u32,
+                },
+            );
+            let llc = node.mem.llc_stats();
+            let misses = llc.core_misses.value() + llc.dma_misses.value();
+            let lookups = llc.core_hits.value() + llc.dma_hits.value() + misses;
+            self.tracer.emit(
+                now,
+                NO_PACKET,
+                Component::Sim,
+                Stage::ProbeCache { lookups, misses },
+            );
+        }
+        self.queue
+            .schedule_with_priority(now + self.probe_interval, Priority::MAXIMUM, Ev::Probe);
     }
 
     fn handle_tx_dma(&mut self, now: Tick, node: usize) {
@@ -400,11 +500,22 @@ impl Simulation {
     fn handle_tx_wire(&mut self, now: Tick, node: usize) {
         self.nodes[node].tx_wire_scheduled = false;
         while let Some((_, packet)) = self.nodes[node].nic.tx_take_wire_packet(now) {
+            self.tracer.emit(
+                now,
+                packet.id(),
+                Component::Link,
+                Stage::WireTx {
+                    len: packet.len() as u32,
+                },
+            );
             let arrival = self.nodes[node].out_link.transmit(now, packet.len());
             if self.loadgen.is_some() && node == 0 {
                 Self::tap(&mut self.capture, now, &packet);
-                self.queue
-                    .schedule_with_priority(arrival, Priority::LINK, Ev::LoadGenRx { packet });
+                self.queue.schedule_with_priority(
+                    arrival,
+                    Priority::LINK,
+                    Ev::LoadGenRx { packet },
+                );
             } else {
                 let peer = 1 - node;
                 self.queue.schedule_with_priority(

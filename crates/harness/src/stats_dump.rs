@@ -37,16 +37,36 @@ pub fn stats_text(sim: &Simulation, node: usize) -> String {
 
     // Core.
     let c = n.core.stats();
-    line(&mut out, "system.cpu.committedInsts", c.instructions.value(), "instructions committed");
-    line(&mut out, "system.cpu.num_loads", c.loads.value(), "loads issued");
-    line(&mut out, "system.cpu.num_stores", c.stores.value(), "stores issued");
+    line(
+        &mut out,
+        "system.cpu.committedInsts",
+        c.instructions.value(),
+        "instructions committed",
+    );
+    line(
+        &mut out,
+        "system.cpu.num_loads",
+        c.loads.value(),
+        "loads issued",
+    );
+    line(
+        &mut out,
+        "system.cpu.num_stores",
+        c.stores.value(),
+        "stores issued",
+    );
     line_f(
         &mut out,
         "system.cpu.ipc",
         c.ipc(n.core.config().frequency),
         "instructions per cycle",
     );
-    line_f(&mut out, "system.cpu.stall_fraction", c.stall_fraction(), "fraction of time memory-stalled");
+    line_f(
+        &mut out,
+        "system.cpu.stall_fraction",
+        c.stall_fraction(),
+        "fraction of time memory-stalled",
+    );
 
     // Caches.
     for (name, stats) in [
@@ -54,18 +74,58 @@ pub fn stats_text(sim: &Simulation, node: usize) -> String {
         ("system.cpu.l2cache", n.mem.l2_stats()),
         ("system.llc", n.mem.llc_stats()),
     ] {
-        line(&mut out, &format!("{name}.overall_hits"), stats.core_hits.value() + stats.dma_hits.value(), "hits (all classes)");
-        line(&mut out, &format!("{name}.overall_misses"), stats.core_misses.value() + stats.dma_misses.value(), "misses (all classes)");
-        line_f(&mut out, &format!("{name}.overall_miss_rate"), stats.miss_rate(), "miss rate");
-        line(&mut out, &format!("{name}.writebacks"), stats.writebacks.value(), "dirty evictions");
+        line(
+            &mut out,
+            &format!("{name}.overall_hits"),
+            stats.core_hits.value() + stats.dma_hits.value(),
+            "hits (all classes)",
+        );
+        line(
+            &mut out,
+            &format!("{name}.overall_misses"),
+            stats.core_misses.value() + stats.dma_misses.value(),
+            "misses (all classes)",
+        );
+        line_f(
+            &mut out,
+            &format!("{name}.overall_miss_rate"),
+            stats.miss_rate(),
+            "miss rate",
+        );
+        line(
+            &mut out,
+            &format!("{name}.writebacks"),
+            stats.writebacks.value(),
+            "dirty evictions",
+        );
     }
 
     // DRAM.
     let d = n.mem.dram_stats();
-    line(&mut out, "system.mem_ctrls.num_reads", d.reads.value(), "DRAM read accesses");
-    line(&mut out, "system.mem_ctrls.num_writes", d.writes.value(), "DRAM write accesses");
-    line(&mut out, "system.mem_ctrls.bytes", d.bytes.value(), "DRAM bytes transferred");
-    line_f(&mut out, "system.mem_ctrls.row_hit_rate", d.row_hit_rate(), "row-buffer hit rate");
+    line(
+        &mut out,
+        "system.mem_ctrls.num_reads",
+        d.reads.value(),
+        "DRAM read accesses",
+    );
+    line(
+        &mut out,
+        "system.mem_ctrls.num_writes",
+        d.writes.value(),
+        "DRAM write accesses",
+    );
+    line(
+        &mut out,
+        "system.mem_ctrls.bytes",
+        d.bytes.value(),
+        "DRAM bytes transferred",
+    );
+    line_f(
+        &mut out,
+        "system.mem_ctrls.row_hit_rate",
+        d.row_hit_rate(),
+        "row-buffer hit rate",
+    );
 
     // I/O buses.
     let now = sim.now();
@@ -73,32 +133,117 @@ pub fn stats_text(sim: &Simulation, node: usize) -> String {
         ("system.iobus.rx", n.mem.io_rx_bus()),
         ("system.iobus.tx", n.mem.io_tx_bus()),
     ] {
-        line(&mut out, &format!("{name}.transactions"), bus.transactions.value(), "bus transactions");
-        line(&mut out, &format!("{name}.bytes"), bus.bytes.value(), "payload bytes");
-        line_f(&mut out, &format!("{name}.utilization"), bus.utilization(now), "busy fraction");
+        line(
+            &mut out,
+            &format!("{name}.transactions"),
+            bus.transactions.value(),
+            "bus transactions",
+        );
+        line(
+            &mut out,
+            &format!("{name}.bytes"),
+            bus.bytes.value(),
+            "payload bytes",
+        );
+        line_f(
+            &mut out,
+            &format!("{name}.utilization"),
+            bus.utilization(now),
+            "busy fraction",
+        );
     }
 
     // NIC.
     let ns = n.nic.stats();
-    line(&mut out, "system.nic.rxPackets", ns.rx_frames.value(), "frames accepted from the wire");
-    line(&mut out, "system.nic.rxBytes", ns.rx_bytes.value(), "bytes accepted from the wire");
-    line(&mut out, "system.nic.txPackets", ns.tx_frames.value(), "frames handed to the wire");
-    line(&mut out, "system.nic.txBytes", ns.tx_bytes.value(), "bytes handed to the wire");
-    line(&mut out, "system.nic.descWritebacks", ns.desc_writebacks.value(), "descriptor writeback DMAs");
-    line(&mut out, "system.nic.descRefills", ns.desc_refills.value(), "descriptor cache refills");
+    line(
+        &mut out,
+        "system.nic.rxPackets",
+        ns.rx_frames.value(),
+        "frames accepted from the wire",
+    );
+    line(
+        &mut out,
+        "system.nic.rxBytes",
+        ns.rx_bytes.value(),
+        "bytes accepted from the wire",
+    );
+    line(
+        &mut out,
+        "system.nic.txPackets",
+        ns.tx_frames.value(),
+        "frames handed to the wire",
+    );
+    line(
+        &mut out,
+        "system.nic.txBytes",
+        ns.tx_bytes.value(),
+        "bytes handed to the wire",
+    );
+    line(
+        &mut out,
+        "system.nic.descWritebacks",
+        ns.desc_writebacks.value(),
+        "descriptor writeback DMAs",
+    );
+    line(
+        &mut out,
+        "system.nic.descRefills",
+        ns.desc_refills.value(),
+        "descriptor cache refills",
+    );
     let fsm = n.nic.drop_fsm();
-    line(&mut out, "system.nic.dmaDrops", fsm.dma_drops.value(), "drops: DMA engine behind (Fig. 4)");
-    line(&mut out, "system.nic.coreDrops", fsm.core_drops.value(), "drops: core behind (Fig. 4)");
-    line(&mut out, "system.nic.txDrops", fsm.tx_drops.value(), "drops: TX backpressure (Fig. 4)");
-    line_f(&mut out, "system.nic.dropRate", fsm.drop_rate(), "dropped / observed");
+    line(
+        &mut out,
+        "system.nic.dmaDrops",
+        fsm.dma_drops.value(),
+        "drops: DMA engine behind (Fig. 4)",
+    );
+    line(
+        &mut out,
+        "system.nic.coreDrops",
+        fsm.core_drops.value(),
+        "drops: core behind (Fig. 4)",
+    );
+    line(
+        &mut out,
+        "system.nic.txDrops",
+        fsm.tx_drops.value(),
+        "drops: TX backpressure (Fig. 4)",
+    );
+    line_f(
+        &mut out,
+        "system.nic.dropRate",
+        fsm.drop_rate(),
+        "dropped / observed",
+    );
 
     // Load generator, if present.
     if let Some(lg) = &sim.loadgen {
-        line(&mut out, "loadgen.txPackets", lg.tx_packets(), "packets injected");
-        line(&mut out, "loadgen.rxPackets", lg.rx_packets(), "packets echoed back");
+        line(
+            &mut out,
+            "loadgen.txPackets",
+            lg.tx_packets(),
+            "packets injected",
+        );
+        line(
+            &mut out,
+            "loadgen.rxPackets",
+            lg.rx_packets(),
+            "packets echoed back",
+        );
         let summary = lg.report(0, now).latency;
-        line_f(&mut out, "loadgen.rtt.mean_ns", summary.mean / 1e3, "mean round-trip (ns)");
-        line_f(&mut out, "loadgen.rtt.p99_ns", summary.p99 / 1e3, "p99 round-trip (ns)");
+        line_f(
+            &mut out,
+            "loadgen.rtt.mean_ns",
+            summary.mean / 1e3,
+            "mean round-trip (ns)",
+        );
+        line_f(
+            &mut out,
+            "loadgen.rtt.p99_ns",
+            summary.p99 / 1e3,
+            "p99 round-trip (ns)",
+        );
     }
     let _ = writeln!(out, "---------- End Simulation Statistics   ----------");
     out

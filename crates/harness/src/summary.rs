@@ -6,7 +6,7 @@ use simnet_sim::Tick;
 use crate::sim::Simulation;
 
 /// Everything the experiments read out of a measurement window.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunSummary {
     /// Load-generator view (throughput, RTT, loadgen-observed drops).
     pub report: LoadGenReport,

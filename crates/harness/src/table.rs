@@ -86,7 +86,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -166,7 +170,7 @@ mod tests {
     fn float_formatting() {
         assert_eq!(fmt_f64(0.0), "0");
         assert_eq!(fmt_f64(123.4), "123");
-        assert_eq!(fmt_f64(3.14159), "3.14");
+        assert_eq!(fmt_f64(2.34567), "2.35");
         assert_eq!(fmt_f64(0.0123), "0.0123");
         assert_eq!(fmt_pct(0.057), "5.7%");
     }

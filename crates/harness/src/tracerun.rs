@@ -1,0 +1,97 @@
+//! Traced single-point runs: [`run_point`](crate::run_point) with the
+//! packet-lifecycle trace layer (`simnet_sim::trace`) attached.
+//!
+//! The trace rides the exact same simulation assembly as an untraced run
+//! — same seeds, same event order — so the measured summary of a traced
+//! run is identical to the untraced one. The only difference is that
+//! every component holds a clone of the [`Tracer`] handle and appends
+//! lifecycle events to the shared ring buffer.
+
+use simnet_sim::trace::{canonical_text, trace_hash, Component, TraceEvent};
+
+use crate::config::SystemConfig;
+use crate::msb::{AppSpec, RunConfig};
+use crate::sim::Simulation;
+use crate::summary::{run_phases, RunSummary};
+
+/// Default trace ring capacity: large enough to hold every event of a
+/// short (`RunConfig::fast`) run without eviction.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;
+
+/// A traced measurement point: the events plus the ordinary summary.
+#[derive(Debug)]
+pub struct TracedRun {
+    /// Lifecycle events in emission order (the canonical order).
+    pub events: Vec<TraceEvent>,
+    /// Events evicted from the ring because the capacity was exceeded
+    /// (0 means `events` is the complete trace).
+    pub evicted: u64,
+    /// The ordinary measurement summary (drop counters, throughput, …).
+    pub summary: RunSummary,
+}
+
+impl TracedRun {
+    /// The canonical text serialization of the trace.
+    pub fn canonical_text(&self) -> String {
+        canonical_text(&self.events)
+    }
+
+    /// The stable 64-bit hash of the canonical trace.
+    pub fn hash(&self) -> u64 {
+        trace_hash(&self.events)
+    }
+}
+
+/// Runs one loadgen-mode measurement point exactly like
+/// [`run_point`](crate::run_point), but with tracing enabled for the
+/// components selected by `mask` (see [`simnet_sim::trace::parse_filter`];
+/// use [`simnet_sim::trace::Component::ALL_MASK`] for everything).
+pub fn run_traced(
+    cfg: &SystemConfig,
+    spec: &AppSpec,
+    size: usize,
+    offered: f64,
+    rc: RunConfig,
+    capacity: usize,
+    mask: u32,
+) -> TracedRun {
+    let offered = match (cfg.client_pps_cap, spec.uses_rps()) {
+        (Some(cap), false) => {
+            let cap_gbps = cap * size as f64 * 8.0 / 1e9;
+            offered.min(cap_gbps)
+        }
+        (Some(cap), true) => offered.min(cap / 1_000.0),
+        (None, _) => offered,
+    };
+    let (stack, app) = spec.instantiate(cfg.seed);
+    let loadgen = spec.loadgen(cfg, size, offered);
+    let mut sim = Simulation::loadgen_mode(cfg, stack, app, loadgen);
+    sim.enable_trace(capacity, mask);
+    let summary = run_phases(&mut sim, rc.phases);
+    let evicted = sim.tracer().evicted();
+    let events = sim.take_trace();
+    TracedRun {
+        events,
+        evicted,
+        summary,
+    }
+}
+
+/// Convenience wrapper: trace everything with the default capacity.
+pub fn run_traced_all(
+    cfg: &SystemConfig,
+    spec: &AppSpec,
+    size: usize,
+    offered: f64,
+    rc: RunConfig,
+) -> TracedRun {
+    run_traced(
+        cfg,
+        spec,
+        size,
+        offered,
+        rc,
+        DEFAULT_TRACE_CAPACITY,
+        Component::ALL_MASK,
+    )
+}

@@ -30,7 +30,11 @@ fn testpmd_light_load_forwards_without_drops() {
 fn testpmd_small_packet_overload_is_core_bound() {
     let cfg = SystemConfig::gem5();
     let s = run_point(&cfg, &AppSpec::TestPmd, 64, 60.0, RunConfig::fast());
-    assert!(s.drop_rate > 0.05, "60 Gbps of 64B must overwhelm: {:.3}", s.drop_rate);
+    assert!(
+        s.drop_rate > 0.05,
+        "60 Gbps of 64B must overwhelm: {:.3}",
+        s.drop_rate
+    );
     let (dma, core, tx) = s.drop_breakdown;
     assert!(
         core > dma && core > tx,
@@ -91,7 +95,11 @@ fn iperf_ceiling_is_single_digit_gbps() {
 fn memcached_dpdk_answers_requests() {
     let cfg = SystemConfig::gem5();
     let s = run_point(&cfg, &AppSpec::MemcachedDpdk, 0, 200.0, RunConfig::long());
-    assert!(s.drop_rate < 0.05, "200 kRPS is sustainable: {:.3}", s.drop_rate);
+    assert!(
+        s.drop_rate < 0.05,
+        "200 kRPS is sustainable: {:.3}",
+        s.drop_rate
+    );
     let rps = s.achieved_rps();
     assert!(
         (150_000.0..260_000.0).contains(&rps),

@@ -24,9 +24,9 @@
 
 pub mod memcached_client;
 pub mod ramp;
-pub mod tcp_client;
 pub mod report;
 pub mod synthetic;
+pub mod tcp_client;
 pub mod trace;
 
 pub use memcached_client::MemcachedClientConfig;
@@ -40,6 +40,7 @@ use simnet_net::{timestamp, Packet};
 use simnet_sim::random::SimRng;
 use simnet_sim::stats::{Counter, Histogram, SampleSet};
 use simnet_sim::tick::{us, Tick};
+use simnet_sim::trace::{Component, Stage, Tracer};
 
 /// What kind of traffic the generator produces.
 #[derive(Debug, Clone)]
@@ -74,6 +75,7 @@ pub struct EtherLoadGen {
     first_tx: Option<Tick>,
     last_rx: Tick,
     outstanding: usize,
+    tracer: Tracer,
 }
 
 impl EtherLoadGen {
@@ -95,7 +97,14 @@ impl EtherLoadGen {
             first_tx: None,
             last_rx: 0,
             outstanding: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a packet-lifecycle tracer; the generator reports
+    /// injections and echo receipts.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Bounds the number of in-flight packets (closed-loop client).
@@ -114,10 +123,7 @@ impl EtherLoadGen {
         if self.limit.is_some_and(|l| self.next_id >= l) {
             return None;
         }
-        if self
-            .window
-            .is_some_and(|w| self.outstanding >= w)
-        {
+        if self.window.is_some_and(|w| self.outstanding >= w) {
             return None; // unblocked by a future on_rx
         }
         match &self.mode {
@@ -155,21 +161,29 @@ impl EtherLoadGen {
         self.tx_bytes.add(packet.len() as u64);
         self.first_tx.get_or_insert(now);
         self.outstanding += 1;
+        self.tracer.emit(
+            now,
+            packet.id(),
+            Component::LoadGen,
+            Stage::Inject {
+                len: packet.len() as u32,
+            },
+        );
         Some(packet)
     }
 
     /// Delivers a packet returning from the node under test; measures RTT.
     pub fn on_rx(&mut self, now: Tick, packet: &Packet) {
+        self.tracer
+            .emit(now, packet.id(), Component::LoadGen, Stage::EchoRx);
         self.rx_packets.inc();
         self.rx_bytes.add(packet.len() as u64);
         self.last_rx = self.last_rx.max(now);
         self.outstanding = self.outstanding.saturating_sub(1);
 
         let rtt = match &mut self.mode {
-            LoadGenMode::Synthetic(cfg) => {
-                timestamp::read_timestamp(packet, cfg.timestamp_offset)
-                    .map(|sent| now.saturating_sub(sent))
-            }
+            LoadGenMode::Synthetic(cfg) => timestamp::read_timestamp(packet, cfg.timestamp_offset)
+                .map(|sent| now.saturating_sub(sent)),
             LoadGenMode::Memcached(cfg) => cfg.match_response(now, packet),
             LoadGenMode::Trace(_) => None,
             LoadGenMode::Tcp(cfg) => cfg.on_rx(now, packet),

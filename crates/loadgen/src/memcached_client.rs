@@ -9,13 +9,13 @@
 
 use std::collections::HashMap;
 
+use simnet_net::ethernet::ETHERNET_HEADER_LEN;
+use simnet_net::ipv4::IPV4_HEADER_LEN;
 use simnet_net::proto::memcached::{
     decode_response_datagram, encode_request_datagram, nth_key, Request, Response,
 };
-use simnet_net::{MacAddr, Packet, PacketBuilder, MIN_FRAME_LEN};
-use simnet_net::ethernet::ETHERNET_HEADER_LEN;
-use simnet_net::ipv4::IPV4_HEADER_LEN;
 use simnet_net::udp::UDP_HEADER_LEN;
+use simnet_net::{MacAddr, Packet, PacketBuilder, MIN_FRAME_LEN};
 use simnet_sim::random::{Distribution, SimRng, Zipf};
 use simnet_sim::stats::Counter;
 use simnet_sim::tick::{Tick, S};
@@ -139,11 +139,7 @@ mod tests {
     use simnet_net::proto::memcached::encode_response_datagram;
 
     fn client() -> MemcachedClientConfig {
-        MemcachedClientConfig::paper_client(
-            100_000.0,
-            MacAddr::simulated(1),
-            MacAddr::simulated(2),
-        )
+        MemcachedClientConfig::paper_client(100_000.0, MacAddr::simulated(1), MacAddr::simulated(2))
     }
 
     #[test]
@@ -160,8 +156,7 @@ mod tests {
         assert!(interval.unwrap() > 0);
         let (_, udp, payload) = pkt.udp().expect("valid UDP frame");
         assert_eq!(udp.dst_port, 11_211);
-        let (hdr, req) =
-            simnet_net::proto::memcached::decode_request_datagram(payload).unwrap();
+        let (hdr, req) = simnet_net::proto::memcached::decode_request_datagram(payload).unwrap();
         assert_eq!(hdr.request_id, 1);
         assert!(req.key().starts_with(b"key:"));
         assert_eq!(c.outstanding_len(), 1);
@@ -175,8 +170,7 @@ mod tests {
         for i in 0..1000 {
             let (pkt, _) = c.build(i, 0, &mut rng);
             let (_, _, payload) = pkt.udp().unwrap();
-            let (_, req) =
-                simnet_net::proto::memcached::decode_request_datagram(payload).unwrap();
+            let (_, req) = simnet_net::proto::memcached::decode_request_datagram(payload).unwrap();
             if matches!(req, Request::Get { .. }) {
                 gets += 1;
             }

@@ -8,7 +8,7 @@
 //! bandwidth versus packet drop graph where the drop rate exceeds 1%."
 
 /// One measured point of a bandwidth ramp.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RatePoint {
     /// Offered load (Gbps of frame bytes, or kRPS for request workloads).
     pub offered: f64,

@@ -6,7 +6,7 @@ use simnet_sim::tick::{Bandwidth, Tick};
 /// The statistics `EtherLoadGen` writes at the end of a run (§IV): packet
 /// and byte counts, achieved bandwidths, drop percentage, and the RTT
 /// summary (mean/median/stddev/tails).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadGenReport {
     /// Packets transmitted toward the node under test.
     pub tx_packets: u64,

@@ -86,7 +86,12 @@ pub const TCP_SERVER_PORT: u16 = 5_001;
 impl TcpClientConfig {
     /// Creates a bulk-stream client with the given window (segments of
     /// `mss` payload bytes).
-    pub fn new(server_mac: MacAddr, client_mac: MacAddr, window_segments: usize, mss: usize) -> Self {
+    pub fn new(
+        server_mac: MacAddr,
+        client_mac: MacAddr,
+        window_segments: usize,
+        mss: usize,
+    ) -> Self {
         assert!(window_segments > 0, "window must be positive");
         assert!((1..=1448).contains(&mss), "mss must fit a standard frame");
         Self {
@@ -179,8 +184,8 @@ impl TcpClientConfig {
                 None
             }
             State::Established => {
-                let rto_expired = self.rto_deadline.is_some_and(|d| now >= d)
-                    && self.bytes_in_flight() > 0;
+                let rto_expired =
+                    self.rto_deadline.is_some_and(|d| now >= d) && self.bytes_in_flight() > 0;
                 let seq = if rto_expired {
                     // Go-back-N: resume from the first unacknowledged byte,
                     // with exponential RTO backoff (undone by new samples)
@@ -189,14 +194,12 @@ impl TcpClientConfig {
                     self.retransmissions.inc();
                     self.send_times.clear(); // Karn: no samples from retransmits
                     self.rto = (self.rto * 2).min(RTO_MAX);
-                    let flight_segments =
-                        (self.bytes_in_flight() / self.mss as u64).max(2) as f64;
+                    let flight_segments = (self.bytes_in_flight() / self.mss as u64).max(2) as f64;
                     self.ssthresh = (flight_segments / 2.0).max(2.0);
                     self.cwnd = 1.0;
                     self.snd_nxt = self.snd_una;
                     self.snd_una
-                } else if self.bytes_in_flight() + self.mss as u64
-                    <= self.effective_window_bytes()
+                } else if self.bytes_in_flight() + self.mss as u64 <= self.effective_window_bytes()
                 {
                     self.snd_nxt
                 } else {
@@ -354,7 +357,14 @@ mod tests {
     }
 
     fn ack(client_cfg: &TcpClientConfig, ack_no: u32) -> Packet {
-        let header = TcpHeader::new(TCP_SERVER_PORT, SRC_PORT, 50_001, ack_no, flags::ACK, 0xFFFF);
+        let header = TcpHeader::new(
+            TCP_SERVER_PORT,
+            SRC_PORT,
+            50_001,
+            ack_no,
+            flags::ACK,
+            0xFFFF,
+        );
         build_tcp_frame(
             0,
             client_cfg.server_mac,

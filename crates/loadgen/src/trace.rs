@@ -103,11 +103,15 @@ impl TraceConfig {
                     Some(self.records[next_cursor].tick)
                 } else if self.loop_replay {
                     // Wrap-around gap: reuse the first inter-packet gap.
-                    self.records.get(1).map(|r| this_tick + (r.tick - self.records[0].tick))
+                    self.records
+                        .get(1)
+                        .map(|r| this_tick + (r.tick - self.records[0].tick))
                 } else {
                     None
                 };
-                next_tick.map(|t| t.saturating_sub(this_tick).max(1)).or(Some(1))
+                next_tick
+                    .map(|t| t.saturating_sub(this_tick).max(1))
+                    .or(Some(1))
             }
         };
         self.cursor = next_cursor;
@@ -196,17 +200,14 @@ mod tests {
     #[test]
     fn round_trips_through_pcap_bytes() {
         let mut buf = Vec::new();
-        let mut writer = PcapWriter::new(&mut buf).unwrap();
-        for r in sample_trace() {
-            writer.write_packet(r.tick, &r.data).unwrap();
+        {
+            let mut writer = PcapWriter::new(&mut buf).unwrap();
+            for r in sample_trace() {
+                writer.write_packet(r.tick, &r.data).unwrap();
+            }
         }
-        drop(writer);
-        let cfg = TraceConfig::from_pcap(
-            &buf[..],
-            Pacing::HonorTimestamps,
-            MacAddr::simulated(1),
-        )
-        .unwrap();
+        let cfg = TraceConfig::from_pcap(&buf[..], Pacing::HonorTimestamps, MacAddr::simulated(1))
+            .unwrap();
         assert_eq!(cfg.len(), 3);
     }
 

@@ -73,7 +73,10 @@ impl CacheConfig {
             self.size
         );
         let sets = self.sets();
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
         assert!(
             self.dca_ways < self.assoc,
             "dca_ways {} must leave at least one core way of {}",

@@ -217,7 +217,11 @@ impl DramController {
         // access's own occupancy window slightly (command bus pressure).
         self.busy_until[loc.channel] = start
             + self.line_transfer
-            + if row_hit { 0 } else { self.cfg.miss_penalty / 4 };
+            + if row_hit {
+                0
+            } else {
+                self.cfg.miss_penalty / 4
+            };
         finish
     }
 
@@ -261,7 +265,11 @@ impl DramController {
         // Capacity consumption: the channel's horizon absorbs the work.
         self.busy_until[loc.channel] += turnaround
             + self.line_transfer
-            + if row_hit { 0 } else { self.cfg.miss_penalty / 4 };
+            + if row_hit {
+                0
+            } else {
+                self.cfg.miss_penalty / 4
+            };
         now + access_latency + self.line_transfer + contention + turnaround
     }
 
@@ -300,7 +308,7 @@ mod tests {
     #[test]
     fn sequential_lines_stay_in_row_until_boundary() {
         let mut d = one_channel();
-        let lines_per_row = (d.config().row_bytes / CACHE_LINE) as u64;
+        let lines_per_row = d.config().row_bytes / CACHE_LINE;
         let mut now = 0;
         for i in 0..lines_per_row + 1 {
             now = d.access(now, i * CACHE_LINE, false);

@@ -59,7 +59,7 @@ mod tests {
         assert!(TX_RING_BASE + ring_span < MBUF_BASE);
         let pool_span = 65_536 * MBUF_STRIDE; // largest supported pool
         assert!(MBUF_BASE + pool_span < WORKSET_BASE);
-        assert!(WORKSET_BASE < HEAP_BASE);
+        const _: () = assert!(WORKSET_BASE < HEAP_BASE);
     }
 
     #[test]

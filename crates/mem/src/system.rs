@@ -14,6 +14,7 @@
 //! LLC and DRAM latencies are wall-clock ticks.
 
 use simnet_sim::tick::{ns, Bandwidth, Frequency, Tick};
+use simnet_sim::trace::{Component, Stage, Tracer, NO_PACKET};
 
 use crate::bus::Bus;
 use crate::cache::{AccessClass, Cache, CacheConfig, Eviction};
@@ -144,6 +145,7 @@ pub struct MemorySystem {
     dram: DramController,
     io_rx: Bus,
     io_tx: Bus,
+    tracer: Tracer,
 }
 
 impl MemorySystem {
@@ -158,6 +160,7 @@ impl MemorySystem {
             io_rx: Bus::new("io-rx", cfg.io_bandwidth, cfg.io_overhead),
             io_tx: Bus::new("io-tx", cfg.io_bandwidth, cfg.io_overhead),
             core_freq: Frequency::default(),
+            tracer: Tracer::disabled(),
             cfg,
         }
     }
@@ -165,6 +168,12 @@ impl MemorySystem {
     /// The configuration this system was built from.
     pub fn config(&self) -> &MemoryConfig {
         &self.cfg
+    }
+
+    /// Attaches a packet-lifecycle tracer; the memory system reports DCA
+    /// placements (bulk DMA writes steered into the LLC).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Sets the core clock (scales L1/L2 hit latencies).
@@ -415,6 +424,14 @@ impl MemorySystem {
                 done = done.max(self.dram.access(t_bus, line, true));
             }
         }
+        if self.cfg.dca_enabled {
+            self.tracer.emit(
+                t_bus,
+                NO_PACKET,
+                Component::Mem,
+                Stage::DcaPlace { bytes: size as u32 },
+            );
+        }
         DmaTiming {
             next_issue: t_bus,
             complete: done,
@@ -604,7 +621,10 @@ mod tests {
         let t_hit = mem.dma_read(1_000_000, addr, 64) - 1_000_000;
         let far = layout::mbuf_addr(1000);
         let t_miss = mem.dma_read(2_000_000, far, 64) - 2_000_000;
-        assert!(t_hit < t_miss, "llc-sourced {t_hit} < dram-sourced {t_miss}");
+        assert!(
+            t_hit < t_miss,
+            "llc-sourced {t_hit} < dram-sourced {t_miss}"
+        );
     }
 
     #[test]

@@ -57,7 +57,7 @@ proptest! {
                 }
             }
         }
-        mem.verify_inclusion().map_err(|e| TestCaseError::fail(e))?;
+        mem.verify_inclusion().map_err(TestCaseError::fail)?;
     }
 
     /// Completion times are monotone: an access issued later never
@@ -102,8 +102,7 @@ fn dca_partition_bounds_dma_occupancy() {
     let resident = (0..2048 * 32)
         .filter(|i| {
             let addr = layout::MBUF_BASE + *i as u64 * CACHE_LINE;
-            mem.core_read(u64::MAX / 2 + *i as u64 * 1000, addr, 8).1
-                == simnet_mem::HitLevel::Llc
+            mem.core_read(u64::MAX / 2 + *i as u64 * 1000, addr, 8).1 == simnet_mem::HitLevel::Llc
         })
         .count();
     // The DCA partition is 2/8 x 128 KiB = 32 KiB = 512 lines; probing

@@ -13,7 +13,6 @@ use std::str::FromStr;
 /// # Ok::<(), simnet_net::mac::ParseMacError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct MacAddr([u8; 6]);
 
 impl MacAddr {

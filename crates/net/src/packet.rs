@@ -251,8 +251,7 @@ impl PacketBuilder {
             ip.write(&mut data[ETHERNET_HEADER_LEN..]);
             let l4_start = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN;
             let payload_start = l4_start + UDP_HEADER_LEN;
-            data[payload_start..payload_start + self.payload.len()]
-                .copy_from_slice(&self.payload);
+            data[payload_start..payload_start + self.payload.len()].copy_from_slice(&self.payload);
             let header = UdpHeader::new(udp.src_port, udp.dst_port, udp_payload_len);
             // Two-phase: write payload first, then checksum over it.
             let (head, tail) = data.split_at_mut(payload_start);
@@ -332,7 +331,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot hold")]
     fn frame_len_too_small_panics() {
-        PacketBuilder::new().payload(&[0; 100]).frame_len(64).build(0);
+        PacketBuilder::new()
+            .payload(&[0; 100])
+            .frame_len(64)
+            .build(0);
     }
 
     #[test]

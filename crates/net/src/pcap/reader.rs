@@ -151,10 +151,11 @@ mod tests {
 
     fn write_sample(resolution: Resolution) -> Vec<u8> {
         let mut buf = Vec::new();
-        let mut w = PcapWriter::with_resolution(&mut buf, resolution).unwrap();
-        w.write_packet(1_000_000, &[0xAA; 64]).unwrap();
-        w.write_packet(3 * S + 42_000, &[0xBB; 128]).unwrap();
-        drop(w);
+        {
+            let mut w = PcapWriter::with_resolution(&mut buf, resolution).unwrap();
+            w.write_packet(1_000_000, &[0xAA; 64]).unwrap();
+            w.write_packet(3 * S + 42_000, &[0xBB; 128]).unwrap();
+        }
         buf
     }
 
@@ -192,7 +193,12 @@ mod tests {
         buf[6..8].copy_from_slice(&4u16.to_be_bytes());
         let mut off = 24;
         for len in [64usize, 128] {
-            for range in [off..off + 4, off + 4..off + 8, off + 8..off + 12, off + 12..off + 16] {
+            for range in [
+                off..off + 4,
+                off + 4..off + 8,
+                off + 8..off + 12,
+                off + 12..off + 16,
+            ] {
                 buf[range].reverse();
             }
             off += 16 + len;
@@ -205,7 +211,7 @@ mod tests {
 
     #[test]
     fn bad_magic_is_detected() {
-        let buf = vec![0u8; 24];
+        let buf = [0u8; 24];
         match PcapReader::new(&buf[..]) {
             Err(PcapError::BadMagic(0)) => {}
             other => panic!("expected BadMagic, got {other:?}"),

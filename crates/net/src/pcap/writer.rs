@@ -117,11 +117,12 @@ mod tests {
     #[test]
     fn record_layout() {
         let mut buf = Vec::new();
-        let mut w = PcapWriter::new(&mut buf).unwrap();
-        // 2 s + 5 ns.
-        w.write_packet(2 * S + 5_000, &[1, 2, 3, 4]).unwrap();
-        assert_eq!(w.packet_count(), 1);
-        drop(w);
+        {
+            let mut w = PcapWriter::new(&mut buf).unwrap();
+            // 2 s + 5 ns.
+            w.write_packet(2 * S + 5_000, &[1, 2, 3, 4]).unwrap();
+            assert_eq!(w.packet_count(), 1);
+        }
         let rec = &buf[24..];
         assert_eq!(u32::from_le_bytes(rec[0..4].try_into().unwrap()), 2);
         assert_eq!(u32::from_le_bytes(rec[4..8].try_into().unwrap()), 5);

@@ -363,9 +363,7 @@ mod tests {
         assert_eq!(h.request_id, 42);
         assert_eq!(decoded, req);
 
-        let resp = Response::Hit {
-            value: vec![9; 50],
-        };
+        let resp = Response::Hit { value: vec![9; 50] };
         let dgram = encode_response_datagram(42, &resp);
         let (h, decoded) = decode_response_datagram(&dgram).unwrap();
         assert_eq!(h.request_id, 42);

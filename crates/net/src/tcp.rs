@@ -114,8 +114,18 @@ impl TcpHeader {
             let total = (TCP_HEADER_LEN + payload.len()) as u16;
             let len_bytes = total.to_be_bytes();
             let pseudo_hdr = [
-                src[0], src[1], src[2], src[3], dst[0], dst[1], dst[2], dst[3], 0, PROTO_TCP,
-                len_bytes[0], len_bytes[1],
+                src[0],
+                src[1],
+                src[2],
+                src[3],
+                dst[0],
+                dst[1],
+                dst[2],
+                dst[3],
+                0,
+                PROTO_TCP,
+                len_bytes[0],
+                len_bytes[1],
             ];
             let csum = checksum::internet_checksum_parts(&[&pseudo_hdr, header, payload]);
             buf[16..18].copy_from_slice(&csum.to_be_bytes());
@@ -131,11 +141,20 @@ impl TcpHeader {
         let total = (TCP_HEADER_LEN + payload.len()) as u16;
         let len_bytes = total.to_be_bytes();
         let pseudo = [
-            src[0], src[1], src[2], src[3], dst[0], dst[1], dst[2], dst[3], 0, PROTO_TCP,
-            len_bytes[0], len_bytes[1],
+            src[0],
+            src[1],
+            src[2],
+            src[3],
+            dst[0],
+            dst[1],
+            dst[2],
+            dst[3],
+            0,
+            PROTO_TCP,
+            len_bytes[0],
+            len_bytes[1],
         ];
-        checksum::internet_checksum_parts(&[&pseudo, &header_bytes[..TCP_HEADER_LEN], payload])
-            == 0
+        checksum::internet_checksum_parts(&[&pseudo, &header_bytes[..TCP_HEADER_LEN], payload]) == 0
     }
 }
 
@@ -170,7 +189,10 @@ pub fn build_tcp_frame(
     let l4 = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN;
     data[l4 + TCP_HEADER_LEN..l4 + TCP_HEADER_LEN + payload.len()].copy_from_slice(payload);
     let (head, tail) = data.split_at_mut(l4 + TCP_HEADER_LEN);
-    header.write(&mut head[l4..], Some((src_ip, dst_ip, &tail[..payload.len()])));
+    header.write(
+        &mut head[l4..],
+        Some((src_ip, dst_ip, &tail[..payload.len()])),
+    );
     crate::Packet::from_bytes(id, data)
 }
 
@@ -216,7 +238,14 @@ mod tests {
     #[test]
     fn round_trip_with_checksum() {
         let payload = b"stream data";
-        let hdr = TcpHeader::new(40_000, 5_001, 12_345, 67_890, flags::ACK | flags::PSH, 8_192);
+        let hdr = TcpHeader::new(
+            40_000,
+            5_001,
+            12_345,
+            67_890,
+            flags::ACK | flags::PSH,
+            8_192,
+        );
         let mut buf = [0u8; TCP_HEADER_LEN];
         hdr.write(&mut buf, Some((SRC, DST, payload)));
         let parsed = TcpHeader::parse(&buf).unwrap();

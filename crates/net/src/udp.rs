@@ -96,8 +96,7 @@ impl UdpHeader {
             return true;
         }
         let pseudo = Self::pseudo_header(src, dst, header_bytes[4], header_bytes[5]);
-        checksum::internet_checksum_parts(&[&pseudo, &header_bytes[..UDP_HEADER_LEN], payload])
-            == 0
+        checksum::internet_checksum_parts(&[&pseudo, &header_bytes[..UDP_HEADER_LEN], payload]) == 0
     }
 
     fn pseudo_checksum(

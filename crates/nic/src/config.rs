@@ -65,14 +65,26 @@ impl NicConfig {
     }
 
     pub(crate) fn validate(&self) {
-        assert!(self.rx_ring_size > 0 && self.tx_ring_size > 0, "rings must be non-empty");
-        assert!(self.rx_fifo_bytes > 0 && self.tx_fifo_bytes > 0, "FIFOs must be non-empty");
-        assert!(self.desc_cache_size > 0, "descriptor cache must be non-empty");
+        assert!(
+            self.rx_ring_size > 0 && self.tx_ring_size > 0,
+            "rings must be non-empty"
+        );
+        assert!(
+            self.rx_fifo_bytes > 0 && self.tx_fifo_bytes > 0,
+            "FIFOs must be non-empty"
+        );
+        assert!(
+            self.desc_cache_size > 0,
+            "descriptor cache must be non-empty"
+        );
         assert!(
             self.desc_refill_batch > 0 && self.desc_refill_batch <= self.desc_cache_size,
             "refill batch must fit the descriptor cache"
         );
-        assert!(self.wb_threshold > 0, "writeback threshold must be positive");
+        assert!(
+            self.wb_threshold > 0,
+            "writeback threshold must be positive"
+        );
     }
 }
 

@@ -14,6 +14,7 @@
 //!   RX ring): the transmit path is the root cause.
 
 use simnet_sim::stats::Counter;
+use simnet_sim::trace::DropClass;
 
 /// The cause assigned to a dropped packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -24,6 +25,18 @@ pub enum DropKind {
     Core,
     /// The TX path backed up into the RX path.
     Tx,
+}
+
+impl DropKind {
+    /// The simulation-layer trace classification for this drop cause
+    /// (identical taxonomy; the trace layer cannot depend on this crate).
+    pub fn trace_class(self) -> DropClass {
+        match self {
+            DropKind::Dma => DropClass::Dma,
+            DropKind::Core => DropClass::Core,
+            DropKind::Tx => DropClass::Tx,
+        }
+    }
 }
 
 /// One observation of buffer fullness, sampled at a packet RX.
@@ -175,7 +188,11 @@ mod tests {
     fn intermediate_states_do_not_drop() {
         // Blue states of Fig. 4: ring(s) full but FIFO not yet full.
         let mut fsm = DropFsm::new();
-        for s in [state(false, true, false), state(false, false, true), state(false, true, true)] {
+        for s in [
+            state(false, true, false),
+            state(false, false, true),
+            state(false, true, true),
+        ] {
             assert_eq!(fsm.on_packet_rx(s), None);
         }
         assert_eq!(fsm.total_drops(), 0);
@@ -185,23 +202,35 @@ mod tests {
     #[test]
     fn dma_drop_when_descriptors_available() {
         let mut fsm = DropFsm::new();
-        assert_eq!(fsm.on_packet_rx(state(true, false, false)), Some(DropKind::Dma));
+        assert_eq!(
+            fsm.on_packet_rx(state(true, false, false)),
+            Some(DropKind::Dma)
+        );
         // "x is don't care": TX ring full doesn't change DMA attribution.
-        assert_eq!(fsm.on_packet_rx(state(true, false, true)), Some(DropKind::Dma));
+        assert_eq!(
+            fsm.on_packet_rx(state(true, false, true)),
+            Some(DropKind::Dma)
+        );
         assert_eq!(fsm.dma_drops.value(), 2);
     }
 
     #[test]
     fn core_drop_when_rx_ring_full() {
         let mut fsm = DropFsm::new();
-        assert_eq!(fsm.on_packet_rx(state(true, true, false)), Some(DropKind::Core));
+        assert_eq!(
+            fsm.on_packet_rx(state(true, true, false)),
+            Some(DropKind::Core)
+        );
         assert_eq!(fsm.core_drops.value(), 1);
     }
 
     #[test]
     fn tx_drop_when_everything_backed_up() {
         let mut fsm = DropFsm::new();
-        assert_eq!(fsm.on_packet_rx(state(true, true, true)), Some(DropKind::Tx));
+        assert_eq!(
+            fsm.on_packet_rx(state(true, true, true)),
+            Some(DropKind::Tx)
+        );
         assert_eq!(fsm.tx_drops.value(), 1);
         assert_eq!(fsm.state_bits(), 0b111);
     }

@@ -13,6 +13,7 @@ use simnet_mem::{layout, MemorySystem};
 use simnet_net::{MacAddr, Packet};
 use simnet_pci::{CompatMode, ConfigSpace};
 use simnet_sim::stats::Counter;
+use simnet_sim::trace::{Component, Stage, Tracer};
 use simnet_sim::Tick;
 
 use crate::config::NicConfig;
@@ -73,6 +74,7 @@ pub struct Nic {
     pci: ConfigSpace,
     fsm: DropFsm,
     stats: NicStats,
+    tracer: Tracer,
 
     // --- RX path ---
     rx_fifo: ByteFifo<Packet>,
@@ -123,12 +125,17 @@ impl Nic {
         let _ = regs.write(crate::regs::offsets::WBTHRESH, cfg.wb_threshold as u32);
         let _ = regs.write(crate::regs::offsets::RDLEN, cfg.rx_ring_size as u32);
         let _ = regs.write(crate::regs::offsets::TDLEN, cfg.tx_ring_size as u32);
-        let vendor = if cfg.vendor_id_broken { 0x0000 } else { VENDOR_INTEL };
+        let vendor = if cfg.vendor_id_broken {
+            0x0000
+        } else {
+            VENDOR_INTEL
+        };
         Self {
             regs,
             pci: ConfigSpace::new(vendor, DEVICE_82540EM, pci_mode),
             fsm: DropFsm::new(),
             stats: NicStats::default(),
+            tracer: Tracer::disabled(),
             rx_fifo: ByteFifo::new(cfg.rx_fifo_bytes),
             rx_avail: 0,
             desc_cache: 0,
@@ -177,6 +184,21 @@ impl Nic {
     /// The drop-classification FSM and its counters.
     pub fn drop_fsm(&self) -> &DropFsm {
         &self.fsm
+    }
+
+    /// Attaches a packet-lifecycle tracer (see `simnet_sim::trace`).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Diagnostic: RX FIFO bytes currently used.
+    pub fn rx_fifo_used(&self) -> u64 {
+        self.rx_fifo.used()
+    }
+
+    /// Diagnostic: occupied TX ring slots (as last settled).
+    pub fn tx_ring_used(&self) -> usize {
+        self.tx_occupancy
     }
 
     /// Device counters.
@@ -246,13 +268,35 @@ impl Nic {
                 );
             }
             self.regs.raise_cause(irq::RXO);
+            if let Some(kind) = verdict {
+                self.tracer.emit(
+                    now,
+                    packet.id(),
+                    Component::Nic,
+                    Stage::Drop {
+                        class: kind.trace_class(),
+                        fifo_used: self.rx_fifo.used(),
+                        ring_free: (self.rx_avail + self.desc_cache) as u32,
+                        tx_used: self.tx_occupancy as u32,
+                    },
+                );
+            }
             return verdict;
         }
         self.stats.rx_frames.inc();
         self.stats.rx_bytes.add(len);
+        let packet_id = packet.id();
         self.rx_fifo
             .push(len, packet)
             .unwrap_or_else(|_| unreachable!("FSM verified the FIFO fits"));
+        self.tracer.emit(
+            now,
+            packet_id,
+            Component::Nic,
+            Stage::FifoEnqueue {
+                fifo_used: self.rx_fifo.used(),
+            },
+        );
         None
     }
 
@@ -273,10 +317,11 @@ impl Nic {
         if self.rx_inflight.is_some() {
             return None;
         }
-        let Some((len, _)) = self.rx_fifo.peek() else {
+        let Some((len, head)) = self.rx_fifo.peek() else {
             self.stats.rx_idle_fifo_empty.inc();
             return None;
         };
+        let head_id = head.id();
 
         self.settle(now);
         let mut t = now;
@@ -305,6 +350,15 @@ impl Nic {
         let slot = self.rx_next_slot;
         self.rx_next_slot = (self.rx_next_slot + 1) % self.cfg.rx_ring_size;
         let timing: DmaTiming = mem.dma_write_timed(t, layout::mbuf_addr(slot), len);
+        self.tracer.emit(
+            t,
+            head_id,
+            Component::Nic,
+            Stage::DmaStart {
+                slot: slot as u32,
+                dca: mem.config().dca_enabled,
+            },
+        );
         self.rx_inflight = Some((timing.next_issue, timing.complete, slot));
         Some(timing.next_issue)
     }
@@ -350,6 +404,12 @@ impl Nic {
         let timing =
             mem.dma_write_control(now.max(data_done), addr, count as u64 * layout::DESC_SIZE);
         for (_, packet, slot) in self.rx_pending_wb.drain(..) {
+            self.tracer.emit(
+                timing.complete,
+                packet.id(),
+                Component::Nic,
+                Stage::RingPublish { slot: slot as u32 },
+            );
             self.rx_visible.push_back(RxCompletion {
                 visible_at: timing.complete,
                 packet,
@@ -432,17 +492,17 @@ impl Nic {
     /// Software submits TX requests (tail bump). Requests beyond the free
     /// ring slots are returned (the caller must retry — this is the
     /// backpressure that produces TxDrops). Returns `(accepted, rejected)`.
-    pub fn tx_submit(
-        &mut self,
-        now: Tick,
-        requests: Vec<TxRequest>,
-    ) -> (usize, Vec<TxRequest>) {
+    pub fn tx_submit(&mut self, now: Tick, requests: Vec<TxRequest>) -> (usize, Vec<TxRequest>) {
         self.settle(now);
         let free = self.cfg.tx_ring_size - self.tx_occupancy;
         let take = free.min(requests.len());
         let mut rejected = requests;
         let accepted: Vec<TxRequest> = rejected.drain(..take).collect();
         self.tx_occupancy += accepted.len();
+        for req in &accepted {
+            self.tracer
+                .emit(now, req.packet.id(), Component::Nic, Stage::TxQueue);
+        }
         self.tx_queue.extend(accepted);
         (take, rejected)
     }
@@ -484,6 +544,12 @@ impl Nic {
         );
         let payload = mem.dma_read_timed(desc.next_issue, layout::mbuf_addr(req.mbuf), head_len);
 
+        self.tracer.emit(
+            payload.complete,
+            req.packet.id(),
+            Component::Nic,
+            Stage::TxFifo,
+        );
         self.tx_fifo
             .push(head_len, req.packet)
             .unwrap_or_else(|_| unreachable!("fits checked above"));
@@ -522,12 +588,26 @@ impl Nic {
         let (len, packet) = self.tx_fifo.pop()?;
         self.stats.tx_frames.inc();
         self.stats.tx_bytes.add(len);
+        self.tracer
+            .emit(ready, packet.id(), Component::Nic, Stage::TxWire);
         Some((ready, packet))
     }
 
     /// Earliest tick at which a TX packet becomes wire-ready.
     pub fn tx_next_wire_ready(&self) -> Option<Tick> {
         self.tx_wire_ready.front().copied()
+    }
+}
+
+impl std::fmt::Debug for Nic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Nic")
+            .field("mac", &self.cfg.mac)
+            .field("rx_fifo_used", &self.rx_fifo.used())
+            .field("rx_avail", &self.rx_avail)
+            .field("desc_cache", &self.desc_cache)
+            .field("tx_occupancy", &self.tx_occupancy)
+            .finish()
     }
 }
 
@@ -764,17 +844,5 @@ mod tests {
             ..NicConfig::paper_default()
         });
         assert_eq!(fixed.pci_config().vendor_id(), VENDOR_INTEL);
-    }
-}
-
-impl std::fmt::Debug for Nic {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Nic")
-            .field("mac", &self.cfg.mac)
-            .field("rx_fifo_used", &self.rx_fifo.used())
-            .field("rx_avail", &self.rx_avail)
-            .field("desc_cache", &self.desc_cache)
-            .field("tx_occupancy", &self.tx_occupancy)
-            .finish()
     }
 }

@@ -1,0 +1,191 @@
+//! Device-level drop classification: drives a real `Nic` (not the bare
+//! FSM) into each Fig. 4 drop state and checks both the returned
+//! `DropKind` and the packet-lifecycle trace — every drop must emit one
+//! classified `Stage::Drop` event whose per-class totals equal the FSM's
+//! aggregate counters.
+
+use simnet_net::{MacAddr, Packet, PacketBuilder};
+use simnet_nic::i8254x::TxRequest;
+use simnet_nic::{DropKind, Nic, NicConfig};
+use simnet_sim::trace::{Component, DropClass, Stage, Tracer};
+
+fn frame(id: u64, len: usize) -> Packet {
+    PacketBuilder::new()
+        .dst(MacAddr::simulated(1))
+        .src(MacAddr::simulated(9))
+        .frame_len(len)
+        .build(id)
+}
+
+/// A NIC whose buffers are tiny enough to fill deliberately: a FIFO that
+/// holds two 1518 B frames, an 8-entry RX ring and a 2-entry TX ring.
+/// `desc_refill_batch` is lowered to 1 so the ring only counts as full
+/// when genuinely out of descriptors (the default low-threshold of 32
+/// would make any tiny ring permanently "full").
+fn tiny_nic() -> (Nic, Tracer) {
+    let mut cfg = NicConfig::paper_default();
+    cfg.rx_fifo_bytes = 3_100;
+    cfg.rx_ring_size = 8;
+    cfg.tx_ring_size = 2;
+    cfg.desc_refill_batch = 1;
+    cfg.desc_cache_size = 8;
+    let mut nic = Nic::new(cfg);
+    let tracer = Tracer::enabled(4096);
+    nic.set_tracer(tracer.clone());
+    (nic, tracer)
+}
+
+/// Fills the RX FIFO with 1518 B frames until one drops; returns the kind.
+fn fill_fifo_until_drop(nic: &mut Nic, now: u64, first_id: u64) -> DropKind {
+    for i in 0..8 {
+        if let Some(kind) = nic.wire_rx(now + i, frame(first_id + i, 1518)) {
+            return kind;
+        }
+    }
+    panic!("FIFO never filled");
+}
+
+/// Per-class totals of `Stage::Drop` events in a trace.
+fn trace_drop_counts(events: &[simnet_sim::TraceEvent]) -> (u64, u64, u64) {
+    let (mut dma, mut core, mut tx) = (0, 0, 0);
+    for ev in events {
+        if let Stage::Drop { class, .. } = ev.stage {
+            assert_eq!(ev.component, Component::Nic);
+            match class {
+                DropClass::Dma => dma += 1,
+                DropClass::Core => core += 1,
+                DropClass::Tx => tx += 1,
+            }
+        }
+    }
+    (dma, core, tx)
+}
+
+#[test]
+fn dma_drop_when_descriptors_posted_but_dma_stalled() {
+    let (mut nic, tracer) = tiny_nic();
+    // Descriptors are available; the "stall" is simply never pumping the
+    // DMA engine, so the FIFO cannot drain.
+    nic.rx_ring_post(8);
+    let kind = fill_fifo_until_drop(&mut nic, 0, 0);
+    assert_eq!(kind, DropKind::Dma);
+    assert_eq!(nic.drop_fsm().dma_drops.value(), 1);
+    assert_eq!(nic.drop_fsm().state_bits() & 0b100, 0b100);
+
+    let events = tracer.take();
+    assert_eq!(trace_drop_counts(&events), (1, 0, 0));
+    // The drop event must carry the queue occupancies at drop time: a
+    // full FIFO and free descriptors (that is what makes it a DmaDrop).
+    let drop_ev = events
+        .iter()
+        .find(|e| matches!(e.stage, Stage::Drop { .. }))
+        .unwrap();
+    if let Stage::Drop {
+        fifo_used,
+        ring_free,
+        ..
+    } = drop_ev.stage
+    {
+        assert!(fifo_used >= 2 * 1518);
+        assert!(ring_free > 0, "DmaDrop requires free descriptors");
+    }
+}
+
+#[test]
+fn core_drop_when_ring_exhausted() {
+    let (mut nic, tracer) = tiny_nic();
+    // No descriptors ever posted: the ring is full from the NIC's point
+    // of view (software owns every entry), mimicking a core too slow to
+    // replenish. The TX ring stays empty.
+    let kind = fill_fifo_until_drop(&mut nic, 0, 100);
+    assert_eq!(kind, DropKind::Core);
+    assert_eq!(nic.drop_fsm().core_drops.value(), 1);
+
+    let events = tracer.take();
+    assert_eq!(trace_drop_counts(&events), (0, 1, 0));
+    let drop_ev = events
+        .iter()
+        .find(|e| matches!(e.stage, Stage::Drop { .. }))
+        .unwrap();
+    if let Stage::Drop {
+        ring_free, tx_used, ..
+    } = drop_ev.stage
+    {
+        assert_eq!(ring_free, 0, "CoreDrop requires an exhausted ring");
+        assert!(tx_used < 2, "TX ring must not be full for a CoreDrop");
+    }
+}
+
+#[test]
+fn tx_drop_when_everything_backed_up() {
+    let (mut nic, tracer) = tiny_nic();
+    // Fill the TX ring (2 slots, DMA never advanced) on top of an
+    // exhausted RX ring: the full backpressure chain of Fig. 4.
+    let reqs: Vec<TxRequest> = (0..2)
+        .map(|i| TxRequest {
+            packet: frame(200 + i, 256),
+            mbuf: i as usize,
+        })
+        .collect();
+    let (accepted, rejected) = nic.tx_submit(0, reqs);
+    assert_eq!((accepted, rejected.len()), (2, 0));
+    assert_eq!(nic.tx_free_slots(0), 0);
+
+    let kind = fill_fifo_until_drop(&mut nic, 1, 300);
+    assert_eq!(kind, DropKind::Tx);
+    assert_eq!(nic.drop_fsm().tx_drops.value(), 1);
+    assert_eq!(nic.drop_fsm().state_bits(), 0b111);
+
+    let events = tracer.take();
+    assert_eq!(trace_drop_counts(&events), (0, 0, 1));
+    let drop_ev = events
+        .iter()
+        .find(|e| matches!(e.stage, Stage::Drop { .. }))
+        .unwrap();
+    if let Stage::Drop {
+        ring_free, tx_used, ..
+    } = drop_ev.stage
+    {
+        assert_eq!(ring_free, 0);
+        assert_eq!(tx_used, 2, "TxDrop requires a full TX ring");
+    }
+}
+
+#[test]
+fn mixed_sequence_trace_agrees_with_fsm_counters() {
+    let (mut nic, tracer) = tiny_nic();
+    // Exhausted ring + repeated overfill: several core drops, then free
+    // the TX path observation by filling TX and dropping again, then
+    // post descriptors so further drops classify as DMA.
+    fill_fifo_until_drop(&mut nic, 0, 0);
+    fill_fifo_until_drop(&mut nic, 10, 10);
+
+    let reqs = vec![
+        TxRequest {
+            packet: frame(900, 256),
+            mbuf: 0,
+        },
+        TxRequest {
+            packet: frame(901, 256),
+            mbuf: 1,
+        },
+    ];
+    nic.tx_submit(20, reqs);
+    fill_fifo_until_drop(&mut nic, 30, 20);
+
+    nic.rx_ring_post(8);
+    fill_fifo_until_drop(&mut nic, 40, 30);
+
+    let fsm = nic.drop_fsm();
+    let counters = (
+        fsm.dma_drops.value(),
+        fsm.core_drops.value(),
+        fsm.tx_drops.value(),
+    );
+    assert_eq!(counters, (1, 2, 1));
+    assert_eq!(
+        trace_drop_counts(&tracer.take()),
+        counters,
+        "trace drop events must mirror the FSM counters exactly"
+    );
+}

@@ -24,7 +24,10 @@ impl std::fmt::Display for BindError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BindError::InterruptDisableUnsupported => {
-                write!(f, "device cannot disable legacy interrupts (PCI Command bit 10)")
+                write!(
+                    f,
+                    "device cannot disable legacy interrupts (PCI Command bit 10)"
+                )
             }
             BindError::AlreadyBound => write!(f, "device already bound to a driver"),
         }
@@ -75,7 +78,11 @@ impl UioPciGeneric {
         // upper Command byte (this is the access pattern baseline gem5
         // drops), then verify it stuck.
         let hi = config.read_config(OFF_COMMAND + 1, 1);
-        config.write_config(OFF_COMMAND + 1, 1, hi | (Command::INTERRUPT_DISABLE >> 8) as u32);
+        config.write_config(
+            OFF_COMMAND + 1,
+            1,
+            hi | (Command::INTERRUPT_DISABLE >> 8) as u32,
+        );
         if !config.command().interrupts_disabled() {
             return Err(BindError::InterruptDisableUnsupported);
         }
@@ -115,7 +122,10 @@ mod tests {
         // The paper's §III.A.1 failure, reproduced.
         let mut cs = ConfigSpace::new(0x8086, 0x100e, CompatMode::Baseline);
         let mut uio = UioPciGeneric::new();
-        assert_eq!(uio.bind(&mut cs), Err(BindError::InterruptDisableUnsupported));
+        assert_eq!(
+            uio.bind(&mut cs),
+            Err(BindError::InterruptDisableUnsupported)
+        );
         assert!(!uio.is_bound());
     }
 

@@ -11,6 +11,11 @@
 //!   histograms and sample sets with exact quantiles.
 //! * [`random`] — seeded pseudo-random distributions (fixed, uniform,
 //!   exponential, Zipfian) used by load generators and workloads.
+//! * [`trace`] — the packet-lifecycle tracing layer: a ring-buffered
+//!   [`Tracer`] handle components clone, canonical text/JSON
+//!   serialization, and a stable 64-bit trace hash for golden-file
+//!   comparison. Disabled by default; a disabled tracer costs one
+//!   null-check per emit.
 //!
 //! # Determinism
 //!
@@ -38,6 +43,8 @@ pub mod event;
 pub mod random;
 pub mod stats;
 pub mod tick;
+pub mod trace;
 
 pub use event::{Event, EventQueue, Priority};
 pub use tick::Tick;
+pub use trace::{Component, DropClass, Stage, TraceEvent, Tracer};

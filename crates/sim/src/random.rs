@@ -6,11 +6,10 @@
 //! `min = 10, max = 100, skew = 0.5` (§VI.A); [`Zipf`] implements exactly
 //! that parameterization.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// The simulator-wide RNG. A thin, seedable, deterministic wrapper around a
-/// fast non-cryptographic generator.
+/// The simulator-wide RNG: a seedable, deterministic xoshiro256++
+/// generator (the same algorithm `rand`'s `SmallRng` uses on 64-bit
+/// targets), implemented locally so the simulator has no external
+/// dependencies.
 ///
 /// ```
 /// use simnet_sim::random::SimRng;
@@ -20,35 +19,62 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
-    /// Creates an RNG from a 64-bit seed.
+    /// Creates an RNG from a 64-bit seed (state expanded via SplitMix64).
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         Self {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
         }
     }
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
-    /// Uniform value in `[0, 1)`.
+    /// Uniform value in `[0, 1)` with 53 bits of precision.
     pub fn next_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// Uniform integer in `[lo, hi]` (inclusive).
+    /// Uniform integer in `[lo, hi]` (inclusive), unbiased via rejection.
     ///
     /// # Panics
     ///
     /// Panics if `lo > hi`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "uniform_u64: lo {lo} > hi {hi}");
-        self.inner.gen_range(lo..=hi)
+        let span = hi.wrapping_sub(lo).wrapping_add(1);
+        if span == 0 {
+            return self.next_u64(); // full u64 domain
+        }
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return lo + v % span;
+            }
+        }
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).

@@ -31,7 +31,7 @@ pub struct SampleSet {
 }
 
 /// Summary of a [`SampleSet`]: the statistics row `EtherLoadGen` prints.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencySummary {
     /// Number of observations recorded (including evicted ones).
     pub count: u64,
@@ -163,7 +163,9 @@ impl SampleSet {
             return 0.0;
         }
         let mean = self.mean();
-        (self.sum_sq / self.seen as f64 - mean * mean).max(0.0).sqrt()
+        (self.sum_sq / self.seen as f64 - mean * mean)
+            .max(0.0)
+            .sqrt()
     }
 
     /// Builds the full summary report.

@@ -77,7 +77,10 @@ impl std::fmt::Display for EalError {
                 write!(f, "no PMD for device {vendor:04x}:{device:04x}")
             }
             EalError::PmdLaunchFailed => {
-                write!(f, "PMD launch failed: cannot access interrupt mask register")
+                write!(
+                    f,
+                    "PMD launch failed: cannot access interrupt mask register"
+                )
             }
         }
     }

@@ -11,6 +11,7 @@ use simnet_cpu::{Core, Op};
 use simnet_mem::{layout, MemorySystem};
 use simnet_nic::i8254x::TxRequest;
 use simnet_nic::Nic;
+use simnet_sim::trace::{Component, Stage, Tracer};
 use simnet_sim::Tick;
 
 use crate::app::{AppAction, PacketApp};
@@ -68,6 +69,7 @@ pub struct DpdkStack {
     code: FootprintStream,
     tx_backlog: Vec<TxRequest>,
     ops: Vec<Op>,
+    tracer: Tracer,
 }
 
 impl DpdkStack {
@@ -92,6 +94,7 @@ impl DpdkStack {
             hugepages: true,
             tx_backlog: Vec::new(),
             ops: Vec::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -116,6 +119,10 @@ impl DpdkStack {
 impl NetworkStack for DpdkStack {
     fn name(&self) -> &'static str {
         "dpdk"
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn iteration(
@@ -176,6 +183,8 @@ impl NetworkStack for DpdkStack {
             ops.push(Op::Compute(self.costs.per_tx_packet));
             ops.push(Op::Store(layout::tx_desc_addr(tx_slot_cursor, tx_ring)));
             tx_slot_cursor += 1;
+            self.tracer
+                .emit(now, packet.id(), Component::App, Stage::AppTx);
             tx_requests.push(TxRequest { packet, mbuf });
         }
 
@@ -192,13 +201,16 @@ impl NetworkStack for DpdkStack {
             };
         }
 
-        self.code.emit_ifetches(&mut ops, self.costs.ifetch_per_burst);
+        self.code
+            .emit_ifetches(&mut ops, self.costs.ifetch_per_burst);
         let rx_count = completions.len();
         if rx_count > 0 {
             app.on_burst(rx_count, &mut ops);
         }
 
         for completion in completions {
+            self.tracer
+                .emit(now, completion.packet.id(), Component::Stack, Stage::SwRx);
             let mbuf_addr = layout::mbuf_addr(completion.slot);
             ops.push(Op::Load(layout::rx_desc_addr(completion.slot, ring)));
             ops.push(Op::Compute(self.costs.per_rx_packet));
@@ -214,11 +226,15 @@ impl NetworkStack for DpdkStack {
             // First line of the packet (the L2 header) comes to the core.
             ops.push(Op::Load(mbuf_addr));
 
+            self.tracer
+                .emit(now, completion.packet.id(), Component::App, Stage::AppRx);
             match app.on_packet(&completion, mbuf_addr, &mut ops) {
                 AppAction::Forward(packet) => {
                     ops.push(Op::Compute(self.costs.per_tx_packet));
                     ops.push(Op::Store(layout::tx_desc_addr(tx_slot_cursor, tx_ring)));
                     tx_slot_cursor += 1;
+                    self.tracer
+                        .emit(now, packet.id(), Component::App, Stage::AppTx);
                     tx_requests.push(TxRequest {
                         packet,
                         mbuf: completion.slot,
@@ -235,6 +251,8 @@ impl NetworkStack for DpdkStack {
                     ops.push(Op::Compute(self.costs.per_tx_packet));
                     ops.push(Op::Store(layout::tx_desc_addr(tx_slot_cursor, tx_ring)));
                     tx_slot_cursor += 1;
+                    self.tracer
+                        .emit(now, packet.id(), Component::App, Stage::AppTx);
                     tx_requests.push(TxRequest { packet, mbuf });
                 }
                 AppAction::Consume => {}
@@ -339,7 +357,13 @@ mod tests {
         let (mut nic, mut core, mut mem, mut stack) = rig();
         let mut app = Echo;
         let ready = deliver(&mut nic, &mut mem, 8);
-        let it = stack.iteration(ready + simnet_sim::tick::us(10), &mut nic, &mut core, &mut mem, &mut app);
+        let it = stack.iteration(
+            ready + simnet_sim::tick::us(10),
+            &mut nic,
+            &mut core,
+            &mut mem,
+            &mut app,
+        );
         assert!(!it.idle);
         assert_eq!(it.rx, 8);
         assert_eq!(it.tx, 8);
@@ -373,7 +397,13 @@ mod tests {
         });
         let mut app = Echo;
         let ready = deliver(&mut nic, &mut mem, 16);
-        let it = stack.iteration(ready + simnet_sim::tick::us(10), &mut nic, &mut core, &mut mem, &mut app);
+        let it = stack.iteration(
+            ready + simnet_sim::tick::us(10),
+            &mut nic,
+            &mut core,
+            &mut mem,
+            &mut app,
+        );
         assert_eq!(it.rx, 16);
         assert!(stack.tx_backlog_len() > 0, "ring of 4 must reject");
         // The next iteration retries TX instead of polling RX.

@@ -47,7 +47,11 @@ impl FootprintStream {
 
     fn next_addr(&mut self) -> Addr {
         let hot = self.rng.chance(self.hot_fraction);
-        let span = if hot { (self.lines / 8).max(1) } else { self.lines };
+        let span = if hot {
+            (self.lines / 8).max(1)
+        } else {
+            self.lines
+        };
         self.base + self.rng.uniform_u64(0, span - 1) * CACHE_LINE
     }
 
@@ -94,7 +98,9 @@ mod tests {
         let mut ops = Vec::new();
         fs.emit_loads(&mut ops, 1000);
         for op in &ops {
-            let Op::Load(a) = op else { panic!("loads only") };
+            let Op::Load(a) = op else {
+                panic!("loads only")
+            };
             assert!((0x1000_0000..0x1010_0000).contains(a));
         }
     }

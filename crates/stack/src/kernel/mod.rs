@@ -19,6 +19,7 @@ use simnet_mem::{layout, Addr, MemorySystem};
 use simnet_nic::i8254x::TxRequest;
 use simnet_nic::Nic;
 use simnet_sim::tick::us;
+use simnet_sim::trace::{Component, Stage, Tracer};
 use simnet_sim::Tick;
 
 use crate::app::{AppAction, PacketApp};
@@ -89,6 +90,7 @@ pub struct KernelStack {
     user_cursor: u64,
     tx_mbuf_cursor: usize,
     tx_backlog: Vec<TxRequest>,
+    tracer: Tracer,
 }
 
 impl KernelStack {
@@ -110,6 +112,7 @@ impl KernelStack {
             user_cursor: 0,
             tx_mbuf_cursor: 0,
             tx_backlog: Vec::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -139,6 +142,10 @@ impl KernelStack {
 impl NetworkStack for KernelStack {
     fn name(&self) -> &'static str {
         "kernel"
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn wakeup_latency(&self) -> Tick {
@@ -186,6 +193,8 @@ impl NetworkStack for KernelStack {
             ops.push(Op::Compute(600)); // driver xmit path
             ops.push(Op::Store(layout::tx_desc_addr(tx_slot, tx_ring)));
             tx_slot += 1;
+            self.tracer
+                .emit(now, packet.id(), Component::App, Stage::AppTx);
             tx_requests.push(TxRequest { packet, mbuf });
         }
 
@@ -210,6 +219,8 @@ impl NetworkStack for KernelStack {
         }
 
         for completion in completions {
+            self.tracer
+                .emit(now, completion.packet.id(), Component::Stack, Stage::SwRx);
             let len = completion.packet.len() as u64;
             let mbuf_addr = layout::mbuf_addr(completion.slot);
 
@@ -218,7 +229,8 @@ impl NetworkStack for KernelStack {
             self.ws.emit_loads(&mut ops, self.costs.ws_loads_per_packet);
             self.ws
                 .emit_dependent_loads(&mut ops, self.costs.dependent_loads_per_packet);
-            self.code.emit_ifetches(&mut ops, self.costs.ifetch_per_packet);
+            self.code
+                .emit_ifetches(&mut ops, self.costs.ifetch_per_packet);
 
             // Socket delivery + recv syscall: copy kernel -> user.
             ops.push(Op::Compute(self.costs.syscall_per_packet));
@@ -227,6 +239,8 @@ impl NetworkStack for KernelStack {
             ops::stores_over(&mut ops, user, len);
 
             // The application works on the *user-space copy*.
+            self.tracer
+                .emit(now, completion.packet.id(), Component::App, Stage::AppRx);
             match app.on_packet(&completion, user, &mut ops) {
                 AppAction::Consume => {}
                 AppAction::Forward(packet) | AppAction::Respond(packet) => {
@@ -239,6 +253,8 @@ impl NetworkStack for KernelStack {
                     ops.push(Op::Compute(600)); // driver xmit path
                     ops.push(Op::Store(layout::tx_desc_addr(tx_slot, tx_ring)));
                     tx_slot += 1;
+                    self.tracer
+                        .emit(now, packet.id(), Component::App, Stage::AppTx);
                     tx_requests.push(TxRequest { packet, mbuf });
                 }
             }
@@ -274,12 +290,7 @@ mod tests {
         fn name(&self) -> &'static str {
             "sink"
         }
-        fn on_packet(
-            &mut self,
-            _c: &RxCompletion,
-            _buf: Addr,
-            ops: &mut Vec<Op>,
-        ) -> AppAction {
+        fn on_packet(&mut self, _c: &RxCompletion, _buf: Addr, ops: &mut Vec<Op>) -> AppAction {
             ops.push(Op::Compute(50));
             AppAction::Consume
         }
@@ -290,12 +301,7 @@ mod tests {
         fn name(&self) -> &'static str {
             "responder"
         }
-        fn on_packet(
-            &mut self,
-            c: &RxCompletion,
-            _buf: Addr,
-            _ops: &mut Vec<Op>,
-        ) -> AppAction {
+        fn on_packet(&mut self, c: &RxCompletion, _buf: Addr, _ops: &mut Vec<Op>) -> AppAction {
             let mut pkt = c.packet.clone();
             pkt.macswap();
             AppAction::Respond(pkt)
@@ -351,14 +357,26 @@ mod tests {
         let (mut nic_k, mut core_k, mut mem_k, mut kernel) = rig();
         let mut sink = Sink;
         let ready = deliver(&mut nic_k, &mut mem_k, 32, 256);
-        let it_k = kernel.iteration(ready + simnet_sim::tick::us(10), &mut nic_k, &mut core_k, &mut mem_k, &mut sink);
+        let it_k = kernel.iteration(
+            ready + simnet_sim::tick::us(10),
+            &mut nic_k,
+            &mut core_k,
+            &mut mem_k,
+            &mut sink,
+        );
 
         let mut nic_d = Nic::new(NicConfig::paper_default());
         let mut core_d = Core::new(CoreConfig::table1_ooo());
         let mut mem_d = MemorySystem::new(MemoryConfig::table1_gem5());
         let mut dpdk = crate::DpdkStack::new(1);
         let ready_d = deliver(&mut nic_d, &mut mem_d, 32, 256);
-        let it_d = dpdk.iteration(ready_d + simnet_sim::tick::us(10), &mut nic_d, &mut core_d, &mut mem_d, &mut sink);
+        let it_d = dpdk.iteration(
+            ready_d + simnet_sim::tick::us(10),
+            &mut nic_d,
+            &mut core_d,
+            &mut mem_d,
+            &mut sink,
+        );
 
         let k = it_k.end - (ready + simnet_sim::tick::us(10));
         let d = it_d.end - (ready_d + simnet_sim::tick::us(10));
@@ -379,7 +397,13 @@ mod tests {
         let (mut nic, mut core, mut mem, mut stack) = rig();
         let mut app = Responder;
         let ready = deliver(&mut nic, &mut mem, 4, 256);
-        let it = stack.iteration(ready + simnet_sim::tick::us(10), &mut nic, &mut core, &mut mem, &mut app);
+        let it = stack.iteration(
+            ready + simnet_sim::tick::us(10),
+            &mut nic,
+            &mut core,
+            &mut mem,
+            &mut app,
+        );
         assert_eq!(it.rx, 4);
         assert_eq!(it.tx, 4);
         assert!(nic.tx_dma_needs_kick());

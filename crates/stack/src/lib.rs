@@ -66,4 +66,9 @@ pub trait NetworkStack {
     fn wakeup_latency(&self) -> Tick {
         0
     }
+
+    /// Attaches a packet-lifecycle tracer (see `simnet_sim::trace`). The
+    /// stack reports software pickups (`sw_rx`) and application-boundary
+    /// crossings (`app_rx`/`app_tx`). Default: tracing not supported.
+    fn set_tracer(&mut self, _tracer: simnet_sim::trace::Tracer) {}
 }

@@ -10,7 +10,10 @@ use simnet::pci::{BindError, CompatMode, ConfigSpace, UioPciGeneric};
 use simnet::stack::dpdk::{Eal, EalConfig, EalError};
 
 fn check(label: &str, ok: bool, detail: String) {
-    println!("{} {label}\n      {detail}\n", if ok { "[ok]  " } else { "[FAIL]" });
+    println!(
+        "{} {label}\n      {detail}\n",
+        if ok { "[ok]  " } else { "[FAIL]" }
+    );
 }
 
 fn main() {

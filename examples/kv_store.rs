@@ -48,7 +48,11 @@ fn main() {
             "  {:16} -> {:.0} kRPS   (paper: {} kRPS)",
             spec.label(),
             msb.msb_or_zero(),
-            if spec == AppSpec::MemcachedDpdk { 709 } else { 218 }
+            if spec == AppSpec::MemcachedDpdk {
+                709
+            } else {
+                218
+            }
         );
     }
 }

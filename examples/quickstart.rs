@@ -43,7 +43,15 @@ fn main() {
 
     // Where's the knee? Run the bandwidth-test mode.
     println!("\nsearching for the maximum sustainable bandwidth ...");
-    let msb = find_msb(&cfg, &AppSpec::TestPmd, frame, 1.0, 90.0, 7, RunConfig::fast());
+    let msb = find_msb(
+        &cfg,
+        &AppSpec::TestPmd,
+        frame,
+        1.0,
+        90.0,
+        7,
+        RunConfig::fast(),
+    );
     for p in &msb.points {
         println!(
             "  offered {:6.2} Gbps -> achieved {:6.2} Gbps, drops {:5.2}%",
@@ -69,6 +77,9 @@ fn main() {
             measure: us(1_000),
         },
     );
-    println!("
-{}", stats_text(&sim, 0));
+    println!(
+        "
+{}",
+        stats_text(&sim, 0)
+    );
 }

@@ -14,7 +14,9 @@ fn listing2_boot_succeeds_on_extended_models() {
     let bdf = "00:02.0".parse().unwrap();
     let mut registry = DevBind::new();
     registry.register(bdf, nic.pci_config().clone());
-    registry.bind_uio(bdf).expect("uio binds on the extended PCI model");
+    registry
+        .bind_uio(bdf)
+        .expect("uio binds on the extended PCI model");
 
     let mut eal = Eal::new(EalConfig::paper_default());
     eal.init(&mut nic).expect("patched DPDK launches its PMD");
@@ -27,7 +29,10 @@ fn listing2_boot_succeeds_on_extended_models() {
 fn baseline_pci_model_rejects_uio() {
     let mut cs = ConfigSpace::new(0x8086, 0x100e, CompatMode::Baseline);
     let mut uio = UioPciGeneric::new();
-    assert_eq!(uio.bind(&mut cs), Err(BindError::InterruptDisableUnsupported));
+    assert_eq!(
+        uio.bind(&mut cs),
+        Err(BindError::InterruptDisableUnsupported)
+    );
 }
 
 /// §III.A.5: baseline gem5's NIC model (unimplemented interrupt-mask

@@ -1,0 +1,95 @@
+//! Golden-trace determinism: the packet-lifecycle trace of a fixed
+//! configuration must be byte-identical across runs and across freshly
+//! rebuilt nodes, and must match the committed golden file.
+//!
+//! Regenerate the golden after an intentional behavior change with:
+//!
+//! ```text
+//! SIMNET_UPDATE_GOLDEN=1 cargo test -q --test golden_trace
+//! ```
+
+use simnet::harness::summary::Phases;
+use simnet::harness::tracerun::TracedRun;
+use simnet::harness::{run_traced, AppSpec, RunConfig, SystemConfig};
+use simnet::sim::tick::us;
+use simnet::sim::trace::{trace_hash, Component};
+
+/// A short, light TestPMD point: no warm-up, a 250 µs window (the link's
+/// one-way latency is 100 µs, so the window must cover inject → arrival →
+/// echo) at 2 Gbps of 1518 B frames — a few hundred trace lines, small
+/// enough to commit.
+fn golden_point() -> TracedRun {
+    let cfg = SystemConfig::gem5();
+    let rc = RunConfig {
+        phases: Phases {
+            warmup: 0,
+            measure: us(250),
+        },
+    };
+    run_traced(
+        &cfg,
+        &AppSpec::TestPmd,
+        1518,
+        2.0,
+        rc,
+        1 << 16,
+        Component::ALL_MASK,
+    )
+}
+
+#[test]
+fn trace_is_deterministic_across_rebuilt_nodes() {
+    // Each call assembles a brand-new node (NIC, memory, stack, loadgen)
+    // from the same `SystemConfig`; nothing may leak between runs.
+    let a = golden_point();
+    let b = golden_point();
+    assert!(!a.events.is_empty(), "trace captured events");
+    assert_eq!(a.evicted, 0, "golden trace must fit the ring");
+    assert_eq!(
+        a.canonical_text(),
+        b.canonical_text(),
+        "canonical traces of identical configs must be byte-identical"
+    );
+    assert_eq!(a.hash(), b.hash());
+    assert_eq!(trace_hash(&a.events), a.hash());
+}
+
+#[test]
+fn trace_matches_committed_golden_file() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/testpmd_small.trace"
+    );
+    let run = golden_point();
+    let text = run.canonical_text();
+
+    if std::env::var_os("SIMNET_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+        std::fs::write(path, &text).unwrap();
+        return;
+    }
+
+    let golden = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("cannot read {path}: {e}; run with SIMNET_UPDATE_GOLDEN=1 to create it")
+    });
+    assert_eq!(
+        text, golden,
+        "trace diverged from the golden file; if the change is intentional, \
+         regenerate with SIMNET_UPDATE_GOLDEN=1 cargo test --test golden_trace"
+    );
+}
+
+#[test]
+fn trace_filter_restricts_components() {
+    let cfg = SystemConfig::gem5();
+    let rc = RunConfig {
+        phases: Phases {
+            warmup: 0,
+            measure: us(250),
+        },
+    };
+    let mask = Component::Nic.bit();
+    let run = run_traced(&cfg, &AppSpec::TestPmd, 1518, 2.0, rc, 1 << 16, mask);
+    assert!(!run.events.is_empty());
+    assert!(run.events.iter().all(|e| e.component == Component::Nic));
+}

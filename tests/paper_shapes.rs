@@ -121,11 +121,17 @@ fn llc_size_is_inert() {
 /// and raises the LLC miss rate (the DMA leak out of the DCA partition).
 #[test]
 fn dma_leak_appears_with_slow_processing() {
-    let cfg = SystemConfig::gem5().with_llc_size(1 << 20).with_rx_ring(4096);
+    let cfg = SystemConfig::gem5()
+        .with_llc_size(1 << 20)
+        .with_rx_ring(4096);
     let fast = run_point(&cfg, &AppSpec::RxpTx(ns(10)), 256, 20.0, RunConfig::fast());
     let slow = run_point(&cfg, &AppSpec::RxpTx(us(10)), 256, 20.0, RunConfig::fast());
     assert!(fast.drop_rate < 0.01, "10ns processing sustains 20 Gbps");
-    assert!(slow.drop_rate > 0.05, "10us processing cannot: {}", slow.drop_rate);
+    assert!(
+        slow.drop_rate > 0.05,
+        "10us processing cannot: {}",
+        slow.drop_rate
+    );
     assert!(
         slow.llc_miss_rate > fast.llc_miss_rate + 0.05,
         "ring backlog leaks out of the DCA ways: {:.3} -> {:.3}",

@@ -101,11 +101,12 @@ proptest! {
         let mut sorted = frames.clone();
         sorted.sort_by_key(|(t, _)| *t);
         let mut buf = Vec::new();
-        let mut writer = PcapWriter::new(&mut buf).unwrap();
-        for (tick, data) in &sorted {
-            writer.write_packet(*tick, data).unwrap();
+        {
+            let mut writer = PcapWriter::new(&mut buf).unwrap();
+            for (tick, data) in &sorted {
+                writer.write_packet(*tick, data).unwrap();
+            }
         }
-        drop(writer);
         let mut reader = PcapReader::new(&buf[..]).unwrap();
         let records = reader.read_all().unwrap();
         prop_assert_eq!(records.len(), sorted.len());

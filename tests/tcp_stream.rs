@@ -3,7 +3,7 @@
 //! kernel stack, over the full NIC/DMA/memory/core pipeline.
 
 use simnet::harness::summary::{run_phases, Phases};
-use simnet::harness::{AppSpec, RunConfig, Simulation, SystemConfig};
+use simnet::harness::{AppSpec, Simulation, SystemConfig};
 use simnet::sim::tick::us;
 
 fn tcp_run(window: usize, measure_us: u64) -> (Simulation, simnet::harness::RunSummary) {
@@ -42,7 +42,12 @@ fn tcp_stream_establishes_and_delivers() {
 fn tcp_goodput_scales_with_window_until_service_bound() {
     let g = |w| {
         let (sim, summary) = tcp_run(w, 6_000);
-        sim.loadgen.as_ref().unwrap().tcp().unwrap().goodput_gbps(summary.window)
+        sim.loadgen
+            .as_ref()
+            .unwrap()
+            .tcp()
+            .unwrap()
+            .goodput_gbps(summary.window)
     };
     let w2 = g(2);
     let w16 = g(16);
@@ -52,7 +57,10 @@ fn tcp_goodput_scales_with_window_until_service_bound() {
     );
     // window * MSS / RTT bound (RTT >= 200 µs propagation):
     let bound = 16.0 * 1448.0 * 8.0 / 200e-6 / 1e9;
-    assert!(w16 <= bound * 1.05, "goodput respects the window bound: {w16:.2} <= {bound:.2}");
+    assert!(
+        w16 <= bound * 1.05,
+        "goodput respects the window bound: {w16:.2} <= {bound:.2}"
+    );
 }
 
 #[test]

@@ -1,0 +1,139 @@
+//! Packet-lifecycle coverage under overload: a traced TestPMD run at a
+//! rate beyond the NIC's drain capacity must show (a) complete echo
+//! lifecycles for delivered packets, and (b) at least one dropped packet
+//! whose trace ends in a classified `drop` event, with per-class drop
+//! event counts agreeing exactly with the Fig. 4 FSM aggregate counters.
+
+use std::collections::HashMap;
+
+use simnet::harness::summary::Phases;
+use simnet::harness::{run_traced, AppSpec, RunConfig, SystemConfig};
+use simnet::sim::tick::us;
+use simnet::sim::trace::{Component, DropClass, Stage, TraceEvent};
+
+fn overloaded_run() -> (Vec<TraceEvent>, simnet::harness::RunSummary, u64) {
+    let cfg = SystemConfig::gem5();
+    // No warm-up so the FSM counters in the summary cover exactly the
+    // traced window, making trace/counter agreement an equality.
+    let rc = RunConfig {
+        phases: Phases {
+            warmup: 0,
+            measure: us(800),
+        },
+    };
+    let run = run_traced(
+        &cfg,
+        &AppSpec::TestPmd,
+        1518,
+        60.0,
+        rc,
+        1 << 22,
+        Component::ALL_MASK,
+    );
+    assert_eq!(run.evicted, 0, "trace ring must hold the whole run");
+    let hash = run.hash();
+    (run.events, run.summary, hash)
+}
+
+#[test]
+fn overload_drops_are_classified_and_match_fsm_counters() {
+    let (events, summary, _) = overloaded_run();
+
+    let (mut dma, mut core, mut tx) = (0u64, 0u64, 0u64);
+    for ev in &events {
+        if let Stage::Drop { class, .. } = ev.stage {
+            match class {
+                DropClass::Dma => dma += 1,
+                DropClass::Core => core += 1,
+                DropClass::Tx => tx += 1,
+            }
+        }
+    }
+    assert!(
+        dma + core + tx > 0,
+        "a 60 Gbps TestPMD run must drop packets"
+    );
+    assert_eq!(
+        (dma, core, tx),
+        summary.drop_counts,
+        "per-class trace drop events must equal the DropFsm counters"
+    );
+}
+
+#[test]
+fn dropped_packet_has_complete_lifecycle_ending_in_drop() {
+    let (events, _, _) = overloaded_run();
+
+    // Group stage names by packet id, in emission order.
+    let mut by_packet: HashMap<u64, Vec<&'static str>> = HashMap::new();
+    for ev in &events {
+        if ev.packet_id != simnet::sim::trace::NO_PACKET {
+            by_packet
+                .entry(ev.packet_id)
+                .or_default()
+                .push(ev.stage.name());
+        }
+    }
+
+    let dropped: Vec<_> = by_packet
+        .iter()
+        .filter(|(_, stages)| stages.contains(&"drop"))
+        .collect();
+    assert!(!dropped.is_empty(), "at least one packet must be dropped");
+
+    for (id, stages) in &dropped {
+        // A dropped packet's RX lifecycle: injected at the load generator,
+        // serialized onto the wire, received by the NIC, then refused.
+        assert_eq!(
+            &stages[..],
+            &["inject", "wire_tx", "wire_rx", "drop"],
+            "packet {id} lifecycle must end at the classified drop"
+        );
+    }
+
+    // Delivered packets make it through the full echo path.
+    let delivered = by_packet
+        .values()
+        .filter(|stages| stages.contains(&"echo_rx"))
+        .count();
+    assert!(delivered > 0, "some packets must complete the echo loop");
+    let full = by_packet
+        .values()
+        .find(|stages| stages.contains(&"echo_rx"))
+        .unwrap();
+    for stage in [
+        "inject",
+        "wire_tx",
+        "wire_rx",
+        "fifo_enq",
+        "dma_start",
+        "ring_pub",
+        "sw_rx",
+        "app_rx",
+        "app_tx",
+        "tx_queue",
+        "tx_fifo",
+        "tx_wire",
+        "echo_rx",
+    ] {
+        assert!(
+            full.contains(&stage),
+            "delivered packet missing stage {stage}: {full:?}"
+        );
+    }
+}
+
+#[test]
+fn drop_events_carry_queue_occupancies() {
+    let (events, _, _) = overloaded_run();
+    let mut saw_full_fifo = false;
+    for ev in &events {
+        if let Stage::Drop { fifo_used, .. } = ev.stage {
+            // A drop happens precisely because the FIFO could not admit
+            // the frame, so the recorded occupancy must be non-zero.
+            assert!(fifo_used > 0, "drop at t={} with empty FIFO", ev.tick);
+            saw_full_fifo = true;
+        }
+    }
+    assert!(saw_full_fifo);
+}

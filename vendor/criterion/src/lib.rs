@@ -1,0 +1,209 @@
+//! A minimal, offline re-implementation of the subset of the
+//! [criterion](https://crates.io/crates/criterion) API that `simnet`'s
+//! bench targets use. The build environment has no network access, so the
+//! real crate cannot be fetched.
+//!
+//! It measures for real — per-iteration wall time over `sample_size`
+//! samples after a warm-up — and prints mean/median/min per benchmark, so
+//! before/after comparisons (e.g. tracing-overhead bounds) are meaningful.
+//! It does not do statistical outlier analysis, HTML reports, or baseline
+//! storage.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark measurement settings.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 50,
+            measurement_time: Duration::from_millis(600),
+            warm_up_time: Duration::from_millis(150),
+        }
+    }
+}
+
+/// The benchmark manager: collects and runs named benchmarks.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.settings.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            settings: self.settings,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+
+    /// Opens a named group; member benchmarks report as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks (`fig20_speedup/loadgen_mode`).
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for the remaining members of this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the measurement budget for the remaining members.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.settings.measurement_time = t;
+        self
+    }
+
+    /// Runs one member benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (reporting is immediate; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    settings: Settings,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, preventing the result from being optimized out.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm up and estimate a per-iteration cost.
+        let warm_until = Instant::now() + self.settings.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_started = Instant::now();
+        while Instant::now() < warm_until {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_started.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Size each sample so one sample is neither trivially short nor
+        // longer than its share of the measurement budget.
+        let budget =
+            self.settings.measurement_time.as_secs_f64() / self.settings.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        self.samples_ns.clear();
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "{id:<40} time: [min {} median {} mean {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's two syntaxes.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
