@@ -99,30 +99,31 @@ fn bench_packet_build(c: &mut Criterion) {
     });
 }
 
+fn rx_loop(
+    nic: &mut Nic,
+    mem: &mut MemorySystem,
+    builder: &mut PacketBuilder,
+    now: &mut u64,
+    id: &mut u64,
+) -> u64 {
+    *id += 1;
+    *now += 30_000;
+    let _ = nic.wire_rx(*now, builder.build(*id));
+    if let Some(t) = nic.rx_dma_start(*now, mem) {
+        *now = (*now).max(t);
+    }
+    while let Some(t) = nic.rx_dma_advance(*now, mem) {
+        *now = (*now).max(t);
+    }
+    let polled = nic.rx_poll(*now, 32);
+    nic.rx_ring_post(polled.len());
+    *now
+}
+
 /// The NIC RX hot path with tracing disabled (the default — one `Option`
 /// null-check per emit site) versus enabled. The disabled variant is the
 /// cost every ordinary run pays for the trace layer existing at all.
 fn bench_nic_trace_overhead(c: &mut Criterion) {
-    fn rx_loop(
-        nic: &mut Nic,
-        mem: &mut MemorySystem,
-        builder: &mut PacketBuilder,
-        now: &mut u64,
-        id: &mut u64,
-    ) -> u64 {
-        *id += 1;
-        *now += 30_000;
-        let _ = nic.wire_rx(*now, builder.build(*id));
-        if let Some(t) = nic.rx_dma_start(*now, mem) {
-            *now = (*now).max(t);
-        }
-        while let Some(t) = nic.rx_dma_advance(*now, mem) {
-            *now = (*now).max(t);
-        }
-        let polled = nic.rx_poll(*now, 32);
-        nic.rx_ring_post(polled.len());
-        *now
-    }
     let mut builder = PacketBuilder::new();
     builder
         .dst(MacAddr::simulated(1))
@@ -147,10 +148,45 @@ fn bench_nic_trace_overhead(c: &mut Criterion) {
     });
 }
 
+/// The NIC RX hot path with no fault plan installed (the default — one
+/// `Option` null-check per query site) versus an active plan. The
+/// disabled variant must stay within noise of `nic_rx_path_trace_disabled`
+/// above: fault injection is zero-cost when unused.
+fn bench_nic_fault_overhead(c: &mut Criterion) {
+    use simnet_sim::fault::{FaultInjector, FaultPlan};
+
+    let mut builder = PacketBuilder::new();
+    builder
+        .dst(MacAddr::simulated(1))
+        .src(MacAddr::simulated(9))
+        .frame_len(1518);
+
+    c.bench_function("nic_rx_path_faults_disabled", |b| {
+        let mut mem = MemorySystem::new(MemoryConfig::table1_gem5());
+        let mut nic = Nic::new(NicConfig::paper_default());
+        nic.set_fault_injector(FaultInjector::disabled());
+        nic.rx_ring_post(1024);
+        let (mut now, mut id) = (0u64, 0u64);
+        b.iter(|| rx_loop(&mut nic, &mut mem, &mut builder, &mut now, &mut id))
+    });
+    c.bench_function("nic_rx_path_faults_enabled", |b| {
+        let mut mem = MemorySystem::new(MemoryConfig::table1_gem5());
+        let mut nic = Nic::new(NicConfig::paper_default());
+        // A low-intensity plan: per-frame RNG draws without drowning the
+        // path in actual drops.
+        let plan = FaultPlan::parse("link.ber=1e-9;dma.burst=+500ns/1us@100us").unwrap();
+        nic.set_fault_injector(FaultInjector::new(plan, 42));
+        nic.rx_ring_post(1024);
+        let (mut now, mut id) = (0u64, 0u64);
+        b.iter(|| rx_loop(&mut nic, &mut mem, &mut builder, &mut now, &mut id))
+    });
+}
+
 criterion_group! {
     name = components;
     config = Criterion::default().sample_size(20);
     targets = bench_event_queue, bench_cache, bench_dram, bench_memory_system,
-              bench_core, bench_packet_build, bench_nic_trace_overhead
+              bench_core, bench_packet_build, bench_nic_trace_overhead,
+              bench_nic_fault_overhead
 }
 criterion_main!(components);

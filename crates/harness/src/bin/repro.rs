@@ -3,8 +3,9 @@
 //! ```text
 //! repro [--quick] [--out DIR] [all|table1|fig5|fig6|fig7|fig8|fig9|fig10|
 //!                              fig11|fig12|fig13|fig14|fig15|fig16|fig17|
-//!                              fig18|fig19|fig20|headline]
+//!                              fig18|fig19|fig20|headline|fault-matrix]
 //! repro --trace PATH [--trace-filter COMPONENTS] [--trace-gbps G]
+//!       [--faults PLAN] [--fault-seed N]
 //! ```
 //!
 //! Results print as tables and are written as CSVs under `--out`
@@ -14,13 +15,19 @@
 //! overloaded TestPMD point with the packet-lifecycle trace layer enabled
 //! and writes the trace to `PATH` — canonical text, or JSON when `PATH`
 //! ends in `.json`. `--trace-filter` limits the trace to a comma-separated
-//! component list (`loadgen,link,nic,mem,stack,app,sim`).
+//! component list (`loadgen,link,nic,pci,mem,stack,app,sim`).
+//!
+//! `--faults PLAN` installs a deterministic fault plan for the traced run
+//! (grammar: `link.ber=1e-7;pci.stall=200ns@10%;dma.burst=+500ns/1us`; see
+//! `simnet_sim::fault::FaultPlan`). `--fault-seed N` picks the fault RNG
+//! seed (default 42); the workload RNG is untouched either way.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use simnet_harness::experiments::{self, Effort, ExperimentOutput};
-use simnet_harness::{run_traced, AppSpec, RunConfig, SystemConfig};
+use simnet_harness::{run_traced_with, AppSpec, RunConfig, SystemConfig, TraceOpts};
+use simnet_sim::fault::{FaultInjector, FaultPlan};
 use simnet_sim::trace::{self, Component, Stage};
 
 const EXPERIMENTS: &[&str] = &[
@@ -49,6 +56,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation-itr",
     "tcp",
     "latency-hist",
+    "fault-matrix",
 ];
 
 fn run_one(name: &str, effort: Effort) -> Option<ExperimentOutput> {
@@ -78,35 +86,64 @@ fn run_one(name: &str, effort: Effort) -> Option<ExperimentOutput> {
         "ablation-itr" => experiments::ablations::interrupt_coalescing(effort),
         "tcp" => experiments::tcp_ext::run(effort),
         "latency-hist" => experiments::latency_hist::run(effort),
+        "fault-matrix" => experiments::fault_matrix::run(effort),
         _ => return None,
     };
     Some(out)
 }
 
 /// Runs one traced TestPMD point and writes the serialized trace.
-fn run_trace_mode(path: &PathBuf, mask: u32, offered_gbps: f64) -> ExitCode {
+fn run_trace_mode(path: &PathBuf, mask: u32, offered_gbps: f64, faults: FaultInjector) -> ExitCode {
     let cfg = SystemConfig::gem5();
     let spec = AppSpec::TestPmd;
     let rc = RunConfig::fast();
+    let faulted = faults.is_enabled();
+    if faulted {
+        println!(
+            "fault plan: {} (seed {})",
+            faults.plan().map(|p| p.to_string()).unwrap_or_default(),
+            faults.seed().unwrap_or(0)
+        );
+    }
     println!(
         "tracing {} @ {offered_gbps:.1} Gbps (1518 B frames, fast phases)",
         spec.label()
     );
-    let run = run_traced(&cfg, &spec, 1518, offered_gbps, rc, 1 << 22, mask);
+    let run = run_traced_with(
+        &cfg,
+        &spec,
+        1518,
+        offered_gbps,
+        rc,
+        TraceOpts {
+            capacity: 1 << 22,
+            mask,
+            faults,
+        },
+    );
 
     // The FSM counters reset at the end of warm-up; compare only trace
     // drops inside the measurement window so the cross-check is exact.
-    let (mut dma, mut core, mut tx) = (0u64, 0u64, 0u64);
+    let (mut dma, mut core, mut tx, mut fault) = (0u64, 0u64, 0u64, 0u64);
+    // Packet-conservation ledger over the whole run (warm-up included —
+    // the trace is attached from t=0).
+    let (mut injected, mut delivered, mut dropped) = (0u64, 0u64, 0u64);
     for ev in &run.events {
-        if ev.tick <= rc.phases.warmup {
-            continue;
-        }
-        if let Stage::Drop { class, .. } = ev.stage {
-            match class {
-                trace::DropClass::Dma => dma += 1,
-                trace::DropClass::Core => core += 1,
-                trace::DropClass::Tx => tx += 1,
+        match ev.stage {
+            Stage::Inject { .. } => injected += 1,
+            Stage::EchoRx => delivered += 1,
+            Stage::Drop { class, .. } => {
+                dropped += 1;
+                if ev.tick > rc.phases.warmup {
+                    match class {
+                        trace::DropClass::Dma => dma += 1,
+                        trace::DropClass::Core => core += 1,
+                        trace::DropClass::Tx => tx += 1,
+                        trace::DropClass::Fault => fault += 1,
+                    }
+                }
             }
+            _ => {}
         }
     }
 
@@ -136,9 +173,33 @@ fn run_trace_mode(path: &PathBuf, mask: u32, offered_gbps: f64) -> ExitCode {
         run.hash()
     );
     println!(
-        "trace drops (measure window): dma={dma} core={core} tx={tx}; \
-         fsm counters: dma={} core={} tx={}",
-        run.summary.drop_counts.0, run.summary.drop_counts.1, run.summary.drop_counts.2
+        "trace drops (measure window): dma={dma} core={core} tx={tx} fault={fault}; \
+         fsm counters: dma={} core={} tx={} fault={}",
+        run.summary.drop_counts.0,
+        run.summary.drop_counts.1,
+        run.summary.drop_counts.2,
+        run.summary.fault_drops
+    );
+    if faulted {
+        let fc = &run.fault_counts;
+        println!(
+            "fault counts: link_ber={} fifo_stuck={} wb_delay={} wb_corrupt={} \
+             pci_stall={} master_clear={} dma_burst={} dca_miss={} total={}",
+            fc.link_bit_errors,
+            fc.fifo_stuck_hits,
+            fc.wb_delays,
+            fc.wb_corrupts,
+            fc.pci_stalls,
+            fc.master_clear_blocks,
+            fc.dma_bursts,
+            fc.dca_forced_misses,
+            fc.total()
+        );
+    }
+    let in_flight = injected.saturating_sub(delivered + dropped);
+    println!(
+        "conservation: injected={injected} delivered={delivered} dropped={dropped} \
+         in_flight={in_flight}"
     );
     println!(
         "achieved {:.2} Gbps, drop rate {:.4}",
@@ -155,6 +216,8 @@ fn main() -> ExitCode {
     let mut trace_path: Option<PathBuf> = None;
     let mut trace_mask = Component::ALL_MASK;
     let mut trace_gbps = 60.0;
+    let mut fault_plan: Option<FaultPlan> = None;
+    let mut fault_seed = 42u64;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -192,10 +255,29 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--faults" => match args.next().as_deref().map(FaultPlan::parse) {
+                Some(Ok(plan)) => fault_plan = Some(plan),
+                Some(Err(e)) => {
+                    eprintln!("--faults: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--faults requires a plan (e.g. 'link.ber=1e-6')");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fault-seed" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(s) => fault_seed = s,
+                None => {
+                    eprintln!("--fault-seed requires an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick] [--out DIR] [all|{}]\n\
-                     \x20      repro --trace PATH [--trace-filter COMPONENTS] [--trace-gbps G]",
+                     \x20      repro --trace PATH [--trace-filter COMPONENTS] [--trace-gbps G]\n\
+                     \x20            [--faults PLAN] [--fault-seed N]",
                     EXPERIMENTS.join("|")
                 );
                 return ExitCode::SUCCESS;
@@ -204,8 +286,16 @@ fn main() -> ExitCode {
         }
     }
 
+    let faults = match fault_plan {
+        Some(plan) => FaultInjector::new(plan, fault_seed),
+        None => FaultInjector::disabled(),
+    };
     if let Some(path) = trace_path {
-        return run_trace_mode(&path, trace_mask, trace_gbps);
+        return run_trace_mode(&path, trace_mask, trace_gbps, faults);
+    }
+    if faults.is_enabled() {
+        eprintln!("--faults/--fault-seed only apply to --trace runs");
+        return ExitCode::FAILURE;
     }
     if targets.is_empty() || targets.iter().any(|t| t == "all") {
         targets = EXPERIMENTS.iter().map(|s| s.to_string()).collect();

@@ -1,0 +1,172 @@
+//! Fault matrix: achieved rate vs injected fault intensity.
+//!
+//! Not a paper figure — a chaos-engineering sweep over the
+//! `simnet_sim::fault` plans. Two tables:
+//!
+//! 1. **BER sweep** — TestPMD at a fixed offered load while the link
+//!    bit-error rate climbs from clean to 1e-4. Achieved rate should
+//!    degrade monotonically-ish while every lost frame stays accounted
+//!    for as a classified fault drop (graceful degradation, no hangs).
+//! 2. **Plan mix** — one row per fault site (PCI stalls, master-enable
+//!    clears, DMA bursts, forced DCA misses, writeback faults) plus the
+//!    kitchen-sink [`FaultPlan::aggressive`], showing which sites cost
+//!    throughput and which only cost latency.
+
+use simnet_sim::fault::{FaultInjector, FaultPlan};
+
+use crate::config::SystemConfig;
+use crate::msb::{AppSpec, RunConfig};
+use crate::table::{fmt_pct, Table};
+use crate::tracerun::{run_traced_with, TraceOpts};
+
+use super::{par_map, Effort, ExperimentOutput};
+
+/// Fixed seed for the fault RNG streams: the sweep varies intensity,
+/// never the random sequence.
+const FAULT_SEED: u64 = 42;
+
+/// One measured cell of the matrix.
+struct Cell {
+    label: String,
+    achieved_gbps: f64,
+    drop_rate: f64,
+    fault_drops: u64,
+    faults_total: u64,
+}
+
+fn run_cell(cfg: &SystemConfig, label: &str, plan: FaultPlan, offered: f64) -> Cell {
+    let spec = AppSpec::TestPmd;
+    // No trace consumers here: mask 0 keeps the ring empty so the sweep
+    // measures fault impact, not tracing overhead.
+    let run = run_traced_with(
+        cfg,
+        &spec,
+        1518,
+        offered,
+        RunConfig::fast(),
+        TraceOpts {
+            capacity: 1024,
+            mask: 0,
+            faults: FaultInjector::new(plan, FAULT_SEED),
+        },
+    );
+    Cell {
+        label: label.to_string(),
+        achieved_gbps: run.summary.achieved_gbps(),
+        drop_rate: run.summary.drop_rate,
+        fault_drops: run.summary.fault_drops,
+        faults_total: run.fault_counts.total(),
+    }
+}
+
+fn push_rows(t: &mut Table, cells: Vec<Cell>) {
+    for c in cells {
+        t.row(vec![
+            c.label,
+            format!("{:.2}", c.achieved_gbps),
+            fmt_pct(c.drop_rate),
+            c.fault_drops.to_string(),
+            c.faults_total.to_string(),
+        ]);
+    }
+}
+
+/// Runs the matrix.
+pub fn run(effort: Effort) -> ExperimentOutput {
+    let cfg = SystemConfig::gem5();
+    let offered = 40.0; // below the clean 1518 B knee: clean row ~0 drops
+
+    let bers: &[f64] = match effort {
+        Effort::Quick => &[0.0, 1e-6, 1e-4],
+        Effort::Full => &[0.0, 1e-7, 1e-6, 1e-5, 1e-4],
+    };
+    let ber_rows: Vec<(String, FaultPlan)> = bers
+        .iter()
+        .map(|&ber| {
+            if ber == 0.0 {
+                ("clean".to_string(), FaultPlan::default())
+            } else {
+                let text = format!("link.ber={ber:e}");
+                (text.clone(), FaultPlan::parse(&text).expect("valid plan"))
+            }
+        })
+        .collect();
+    let ber_cells = par_map(ber_rows, |(label, plan)| {
+        run_cell(&cfg, &label, plan, offered)
+    });
+
+    let cols = ["Plan", "Achieved Gbps", "DropRate", "FaultDrops", "Faults"];
+    let mut ber_table = Table::new(
+        "Fault matrix — link BER sweep (TestPMD 1518 B @ 40 Gbps)",
+        &cols,
+    );
+    push_rows(&mut ber_table, ber_cells);
+
+    let mix: Vec<(&str, &str)> = match effort {
+        Effort::Quick => vec![
+            ("pci.stall=200ns@10%", "pci.stall=200ns@10%"),
+            ("aggressive", ""),
+        ],
+        Effort::Full => vec![
+            ("pci.stall=200ns@10%", "pci.stall=200ns@10%"),
+            ("pci.master_clear=5us@50us", "pci.master_clear=5us@50us"),
+            ("dma.burst=+500ns/1us", "dma.burst=+500ns/1us"),
+            ("dma.dca_miss=50%", "dma.dca_miss=50%"),
+            (
+                "nic.wb_delay=1us@25%;nic.wb_corrupt=1%",
+                "nic.wb_delay=1us@25%;nic.wb_corrupt=1%",
+            ),
+            ("nic.fifo_stuck=2us@20us", "nic.fifo_stuck=2us@20us"),
+            ("aggressive", ""),
+        ],
+    };
+    let mix_rows: Vec<(String, FaultPlan)> = mix
+        .into_iter()
+        .map(|(label, text)| {
+            let plan = if text.is_empty() {
+                FaultPlan::aggressive()
+            } else {
+                FaultPlan::parse(text).expect("valid plan")
+            };
+            (label.to_string(), plan)
+        })
+        .collect();
+    let mix_cells = par_map(mix_rows, |(label, plan)| {
+        run_cell(&cfg, &label, plan, offered)
+    });
+    let mut mix_table = Table::new(
+        "Fault matrix — per-site plans (TestPMD 1518 B @ 40 Gbps)",
+        &cols,
+    );
+    push_rows(&mut mix_table, mix_cells);
+
+    let mut out = ExperimentOutput::default();
+    out.note(
+        "Expectation: achieved rate degrades with BER while drops stay \
+         classified (FaultDrops tracks injected link errors); latency-only \
+         sites (pci.stall, dma.burst) barely move throughput at this load; \
+         the aggressive plan degrades but never hangs.",
+    );
+    out.table("fault_matrix_ber", ber_table);
+    out.table("fault_matrix_sites", mix_table);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_matrix_runs_and_degrades_gracefully() {
+        let out = run(Effort::Quick);
+        assert_eq!(out.tables.len(), 2);
+        let ber = &out.tables[0].1;
+        assert_eq!(ber.len(), 3);
+        let csv = ber.to_csv();
+        assert!(csv.contains("clean"), "clean baseline row missing:\n{csv}");
+        assert!(csv.contains("link.ber=1e-4"));
+        let mix = &out.tables[1].1;
+        assert_eq!(mix.len(), 2);
+        assert!(mix.to_csv().contains("aggressive"));
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`speedup`] | Fig. 20 (EtherLoadGen vs dual-mode simulation time) |
 //! | [`headline`] | §I/§II's 6.3× kernel→DPDK bandwidth claim |
 //! | [`ablations`] | Design-choice ablations (writeback threshold, DCA ways, open/closed clients) |
+//! | [`fault_matrix`] | Chaos sweep: fault intensity vs achieved rate (`simnet_sim::fault`) |
 //! | [`tcp_ext`] | Extension: the TCP state machine in `EtherLoadGen` (paper future work) |
 
 pub mod ablations;
@@ -23,6 +24,7 @@ pub mod cache;
 pub mod core_sens;
 pub mod curves;
 pub mod dca;
+pub mod fault_matrix;
 pub mod fig05;
 pub mod headline;
 pub mod latency_hist;

@@ -33,4 +33,4 @@ pub use msb::{find_msb, run_point, AppSpec, MsbResult, RunConfig};
 pub use sim::Simulation;
 pub use stats_dump::stats_text;
 pub use summary::RunSummary;
-pub use tracerun::{run_traced, run_traced_all, TracedRun};
+pub use tracerun::{run_traced, run_traced_all, run_traced_with, TraceOpts, TracedRun};

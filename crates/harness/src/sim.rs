@@ -16,6 +16,7 @@ use simnet_net::pcap::PcapWriter;
 use simnet_net::Packet;
 use simnet_nic::{EtherLink, Nic};
 use simnet_pci::devbind::DevBind;
+use simnet_sim::fault::FaultInjector;
 use simnet_sim::trace::{Component, Stage, TraceEvent, Tracer, NO_PACKET};
 use simnet_sim::{tick, EventQueue, Priority, Tick};
 use simnet_stack::dpdk::{Eal, EalConfig};
@@ -122,6 +123,9 @@ pub struct Simulation {
     /// The packet-lifecycle tracer (disabled unless
     /// [`Simulation::enable_trace`] ran before the first event).
     tracer: Tracer,
+    /// The fault injector (disabled unless [`Simulation::install_faults`]
+    /// ran before the first event).
+    faults: FaultInjector,
     probe_interval: Tick,
 }
 
@@ -143,6 +147,7 @@ impl Simulation {
             capture: None,
             started: false,
             tracer: Tracer::disabled(),
+            faults: FaultInjector::disabled(),
             probe_interval: tick::us(10),
         }
     }
@@ -169,6 +174,7 @@ impl Simulation {
             capture: None,
             started: false,
             tracer: Tracer::disabled(),
+            faults: FaultInjector::disabled(),
             probe_interval: tick::us(10),
         }
     }
@@ -194,6 +200,28 @@ impl Simulation {
         if let Some(lg) = &mut self.loadgen {
             lg.set_tracer(self.tracer.clone());
         }
+    }
+
+    /// Installs a fault injector (see `simnet_sim::fault`). Clones of the
+    /// handle are distributed to every node's NIC (which shares it with
+    /// its PCI config space) and memory system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation already started.
+    pub fn install_faults(&mut self, faults: FaultInjector) {
+        assert!(!self.started, "install_faults must precede the first run");
+        for node in &mut self.nodes {
+            node.nic.set_fault_injector(faults.clone());
+            node.mem.set_fault_injector(faults.clone());
+        }
+        self.faults = faults;
+    }
+
+    /// The fault injector (disabled unless [`Simulation::install_faults`]
+    /// ran).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.faults
     }
 
     /// Sets the period of the stat-sampling probe rows (default 10 µs).
@@ -293,6 +321,7 @@ impl Simulation {
         if let Some(link) = &mut self.gen_link {
             link.reset_stats();
         }
+        self.faults.reset_counts();
     }
 
     // ------------------------------------------------------------------
@@ -384,6 +413,17 @@ impl Simulation {
             n.rx_dma_scheduled = true;
             self.queue
                 .schedule_with_priority(next.max(now), Priority::DMA, Ev::RxDma { node });
+        } else if n.nic.rx_dma_needs_kick(now) {
+            // Work is pending but the engine refused to start — a cleared
+            // bus-master enable. Retry when the fault window closes.
+            if let Some(end) = self.faults.master_window_end(now) {
+                n.rx_dma_scheduled = true;
+                self.queue.schedule_with_priority(
+                    end.max(now + 1),
+                    Priority::DMA,
+                    Ev::RxDma { node },
+                );
+            }
         }
         self.wake_software_for_rx(now, node);
     }
@@ -483,6 +523,15 @@ impl Simulation {
             n.tx_dma_scheduled = true;
             self.queue
                 .schedule_with_priority(next.max(now), Priority::DMA, Ev::TxDma { node });
+        } else if n.nic.tx_dma_needs_kick() {
+            if let Some(end) = self.faults.master_window_end(now) {
+                n.tx_dma_scheduled = true;
+                self.queue.schedule_with_priority(
+                    end.max(now + 1),
+                    Priority::DMA,
+                    Ev::TxDma { node },
+                );
+            }
         }
         let n = &mut self.nodes[node];
         if !n.tx_wire_scheduled {

@@ -217,6 +217,84 @@ pub fn stats_text(sim: &Simulation, node: usize) -> String {
         "dropped / observed",
     );
 
+    // Fault injection, when a plan is installed.
+    let injector = sim.fault_injector();
+    if injector.is_enabled() {
+        line(
+            &mut out,
+            "system.fault.plan",
+            injector.plan().map(|p| p.to_string()).unwrap_or_default(),
+            "installed fault plan",
+        );
+        line(
+            &mut out,
+            "system.fault.seed",
+            injector.seed().unwrap_or(0),
+            "fault RNG seed",
+        );
+        let fc = injector.counts();
+        line(
+            &mut out,
+            "system.fault.linkBitErrors",
+            fc.link_bit_errors,
+            "frames corrupted on the wire (FCS fail)",
+        );
+        line(
+            &mut out,
+            "system.fault.fifoStuckHits",
+            fc.fifo_stuck_hits,
+            "RX receptions inside a stuck-full FIFO window",
+        );
+        line(
+            &mut out,
+            "system.fault.wbDelays",
+            fc.wb_delays,
+            "delayed descriptor writeback batches",
+        );
+        line(
+            &mut out,
+            "system.fault.wbCorrupts",
+            fc.wb_corrupts,
+            "corrupted descriptor writebacks (frame lost)",
+        );
+        line(
+            &mut out,
+            "system.fault.pciStalls",
+            fc.pci_stalls,
+            "stalled PCI config reads",
+        );
+        line(
+            &mut out,
+            "system.fault.masterClearBlocks",
+            fc.master_clear_blocks,
+            "DMA attempts blocked by master-enable clear",
+        );
+        line(
+            &mut out,
+            "system.fault.dmaBursts",
+            fc.dma_bursts,
+            "DMA accesses hit by a latency burst",
+        );
+        line(
+            &mut out,
+            "system.fault.dcaForcedMisses",
+            fc.dca_forced_misses,
+            "DCA placements forced to miss the LLC",
+        );
+        line(
+            &mut out,
+            "system.fault.total",
+            fc.total(),
+            "injected faults (all sites)",
+        );
+        line(
+            &mut out,
+            "system.nic.faultDrops",
+            fsm.fault_drops.value(),
+            "drops caused by injected faults",
+        );
+    }
+
     // Load generator, if present.
     if let Some(lg) = &sim.loadgen {
         line(
@@ -292,5 +370,37 @@ mod tests {
             .collect::<Vec<_>>();
         assert!(stat_lines.len() > 25);
         assert!(stat_lines.iter().all(|l| l.contains('#')));
+        // No fault plan installed: the fault section must be absent.
+        assert!(!text.contains("system.fault."));
+    }
+
+    #[test]
+    fn fault_section_appears_only_with_a_plan() {
+        use simnet_sim::fault::{FaultInjector, FaultPlan};
+
+        let cfg = SystemConfig::gem5();
+        let spec = AppSpec::TestPmd;
+        let (stack, app) = spec.instantiate(cfg.seed);
+        let loadgen = spec.loadgen(&cfg, 1518, 5.0);
+        let mut sim = Simulation::loadgen_mode(&cfg, stack, app, loadgen);
+        let plan = FaultPlan::parse("link.ber=1e-4").unwrap();
+        sim.install_faults(FaultInjector::new(plan, 7));
+        run_phases(
+            &mut sim,
+            Phases {
+                warmup: 0,
+                measure: us(300),
+            },
+        );
+        let text = stats_text(&sim, 0);
+        for needle in [
+            "system.fault.plan",
+            "system.fault.seed",
+            "system.fault.linkBitErrors",
+            "system.fault.total",
+            "system.nic.faultDrops",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in dump:\n{text}");
+        }
     }
 }

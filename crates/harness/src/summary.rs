@@ -16,6 +16,10 @@ pub struct RunSummary {
     pub drop_breakdown: (f64, f64, f64),
     /// Raw drop counts `(dma, core, tx)`.
     pub drop_counts: (u64, u64, u64),
+    /// Drops caused by injected faults (0 without a fault plan) — kept
+    /// out of `drop_counts`/`drop_breakdown` so faults never skew the
+    /// Fig. 4 congestion taxonomy.
+    pub fault_drops: u64,
     /// LLC miss rate on the core path (Fig. 13's second axis).
     pub llc_miss_rate: f64,
     /// DRAM row-buffer hit rate (Fig. 17 diagnostics).
@@ -100,6 +104,7 @@ pub fn run_phases(sim: &mut Simulation, phases: Phases) -> RunSummary {
             fsm.core_drops.value(),
             fsm.tx_drops.value(),
         ),
+        fault_drops: fsm.fault_drops.value(),
         llc_miss_rate: node.mem.llc_stats().core_miss_rate(),
         row_hit_rate: node.mem.dram_stats().row_hit_rate(),
         window: phases.measure,

@@ -6,7 +6,12 @@
 //! run is identical to the untraced one. The only difference is that
 //! every component holds a clone of the [`Tracer`] handle and appends
 //! lifecycle events to the shared ring buffer.
+//!
+//! Fault-injection runs use [`TraceOpts::faults`]: the injector is
+//! installed before the first event fires, so the faulted event stream is
+//! as deterministic as a clean one.
 
+use simnet_sim::fault::{FaultCounts, FaultInjector};
 use simnet_sim::trace::{canonical_text, trace_hash, Component, TraceEvent};
 
 use crate::config::SystemConfig;
@@ -18,6 +23,28 @@ use crate::summary::{run_phases, RunSummary};
 /// short (`RunConfig::fast`) run without eviction.
 pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;
 
+/// Knobs for a traced run beyond the measurement point itself.
+#[derive(Debug, Clone)]
+pub struct TraceOpts {
+    /// Trace ring capacity (events kept before eviction).
+    pub capacity: usize,
+    /// Component filter mask (see [`simnet_sim::trace::parse_filter`]).
+    pub mask: u32,
+    /// Fault injector to install before the run starts. Use
+    /// [`FaultInjector::disabled`] for a clean run.
+    pub faults: FaultInjector,
+}
+
+impl Default for TraceOpts {
+    fn default() -> Self {
+        TraceOpts {
+            capacity: DEFAULT_TRACE_CAPACITY,
+            mask: Component::ALL_MASK,
+            faults: FaultInjector::disabled(),
+        }
+    }
+}
+
 /// A traced measurement point: the events plus the ordinary summary.
 #[derive(Debug)]
 pub struct TracedRun {
@@ -28,6 +55,8 @@ pub struct TracedRun {
     pub evicted: u64,
     /// The ordinary measurement summary (drop counters, throughput, …).
     pub summary: RunSummary,
+    /// Per-site fault counters (all zero when no plan was installed).
+    pub fault_counts: FaultCounts,
 }
 
 impl TracedRun {
@@ -44,16 +73,15 @@ impl TracedRun {
 
 /// Runs one loadgen-mode measurement point exactly like
 /// [`run_point`](crate::run_point), but with tracing enabled for the
-/// components selected by `mask` (see [`simnet_sim::trace::parse_filter`];
-/// use [`simnet_sim::trace::Component::ALL_MASK`] for everything).
-pub fn run_traced(
+/// components selected by `opts.mask` and `opts.faults` installed before
+/// the first simulated event.
+pub fn run_traced_with(
     cfg: &SystemConfig,
     spec: &AppSpec,
     size: usize,
     offered: f64,
     rc: RunConfig,
-    capacity: usize,
-    mask: u32,
+    opts: TraceOpts,
 ) -> TracedRun {
     let offered = match (cfg.client_pps_cap, spec.uses_rps()) {
         (Some(cap), false) => {
@@ -66,15 +94,43 @@ pub fn run_traced(
     let (stack, app) = spec.instantiate(cfg.seed);
     let loadgen = spec.loadgen(cfg, size, offered);
     let mut sim = Simulation::loadgen_mode(cfg, stack, app, loadgen);
-    sim.enable_trace(capacity, mask);
+    sim.install_faults(opts.faults);
+    sim.enable_trace(opts.capacity, opts.mask);
     let summary = run_phases(&mut sim, rc.phases);
     let evicted = sim.tracer().evicted();
     let events = sim.take_trace();
+    let fault_counts = sim.fault_injector().counts();
     TracedRun {
         events,
         evicted,
         summary,
+        fault_counts,
     }
+}
+
+/// Fault-free traced run (the PR-1 entry point, kept for callers that do
+/// not inject faults).
+pub fn run_traced(
+    cfg: &SystemConfig,
+    spec: &AppSpec,
+    size: usize,
+    offered: f64,
+    rc: RunConfig,
+    capacity: usize,
+    mask: u32,
+) -> TracedRun {
+    run_traced_with(
+        cfg,
+        spec,
+        size,
+        offered,
+        rc,
+        TraceOpts {
+            capacity,
+            mask,
+            faults: FaultInjector::disabled(),
+        },
+    )
 }
 
 /// Convenience wrapper: trace everything with the default capacity.
@@ -85,13 +141,5 @@ pub fn run_traced_all(
     offered: f64,
     rc: RunConfig,
 ) -> TracedRun {
-    run_traced(
-        cfg,
-        spec,
-        size,
-        offered,
-        rc,
-        DEFAULT_TRACE_CAPACITY,
-        Component::ALL_MASK,
-    )
+    run_traced_with(cfg, spec, size, offered, rc, TraceOpts::default())
 }

@@ -13,6 +13,7 @@
 //! core's clock domain, so they scale with the Fig. 15 frequency sweep);
 //! LLC and DRAM latencies are wall-clock ticks.
 
+use simnet_sim::fault::{FaultInjector, FaultKind};
 use simnet_sim::tick::{ns, Bandwidth, Frequency, Tick};
 use simnet_sim::trace::{Component, Stage, Tracer, NO_PACKET};
 
@@ -146,6 +147,7 @@ pub struct MemorySystem {
     io_rx: Bus,
     io_tx: Bus,
     tracer: Tracer,
+    faults: FaultInjector,
 }
 
 impl MemorySystem {
@@ -161,6 +163,7 @@ impl MemorySystem {
             io_tx: Bus::new("io-tx", cfg.io_bandwidth, cfg.io_overhead),
             core_freq: Frequency::default(),
             tracer: Tracer::disabled(),
+            faults: FaultInjector::disabled(),
             cfg,
         }
     }
@@ -174,6 +177,46 @@ impl MemorySystem {
     /// placements (bulk DMA writes steered into the LLC).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attaches a fault injector (see `simnet_sim::fault`): DMA latency
+    /// bursts and DCA miss-forcing apply on the device-side ports.
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.faults = faults;
+    }
+
+    /// Burst fault: extra issue delay for a DMA transaction at `now`.
+    fn dma_fault_delay(&self, now: Tick) -> Tick {
+        let extra = self.faults.dma_burst_extra(now);
+        if extra > 0 {
+            self.tracer.emit(
+                now,
+                NO_PACKET,
+                Component::Mem,
+                Stage::Fault {
+                    kind: FaultKind::DmaBurst,
+                    ticks: extra,
+                },
+            );
+        }
+        extra
+    }
+
+    /// DCA fault: whether this bulk DMA write is forced to miss to DRAM.
+    fn dca_forced_miss(&self, now: Tick) -> bool {
+        if self.faults.dca_force_miss() {
+            self.tracer.emit(
+                now,
+                NO_PACKET,
+                Component::Mem,
+                Stage::Fault {
+                    kind: FaultKind::DcaForcedMiss,
+                    ticks: 0,
+                },
+            );
+            return true;
+        }
+        false
     }
 
     /// Sets the core clock (scales L1/L2 hit latencies).
@@ -398,6 +441,8 @@ impl MemorySystem {
     /// the DMA engine may issue its next transaction once the I/O bus
     /// transfer finishes, before the data lands in LLC/DRAM.
     pub fn dma_write_timed(&mut self, now: Tick, addr: Addr, size: u64) -> DmaTiming {
+        let now = now + self.dma_fault_delay(now);
+        let dca = self.cfg.dca_enabled && !self.dca_forced_miss(now);
         let grant = self.io_rx.transfer(now, size);
         let t_bus = grant.finish;
         let lines = lines_touched(addr, size.max(1));
@@ -409,7 +454,7 @@ impl MemorySystem {
             self.l1d.invalidate(line);
             self.l1i.invalidate(line);
             self.l2.invalidate(line);
-            if self.cfg.dca_enabled {
+            if dca {
                 match self.llc.fill(line, AccessClass::Dma, true) {
                     Eviction::Dirty(victim) => {
                         self.back_invalidate_l2(victim);
@@ -424,7 +469,7 @@ impl MemorySystem {
                 done = done.max(self.dram.access(t_bus, line, true));
             }
         }
-        if self.cfg.dca_enabled {
+        if dca {
             self.tracer.emit(
                 t_bus,
                 NO_PACKET,
@@ -451,6 +496,7 @@ impl MemorySystem {
     /// transfer interleaves with queued bulk traffic (posted write TLPs)
     /// instead of pushing the bulk queue's horizon forward.
     pub fn dma_write_control(&mut self, now: Tick, addr: Addr, size: u64) -> DmaTiming {
+        let now = now + self.dma_fault_delay(now);
         let grant = self.io_rx.transfer_priority(now, size);
         let t_bus = grant.finish;
         let lines = lines_touched(addr, size.max(1));
@@ -487,6 +533,7 @@ impl MemorySystem {
     /// transfer interleaves with queued bulk traffic instead of waiting
     /// behind it (see [`Bus::transfer_priority`]).
     pub fn dma_read_control(&mut self, now: Tick, addr: Addr, size: u64) -> DmaTiming {
+        let now = now + self.dma_fault_delay(now);
         let lines = lines_touched(addr, size.max(1));
         let first = line_base(addr);
         let mut data_ready = now;
@@ -508,6 +555,7 @@ impl MemorySystem {
     /// the next transaction's memory fetch may start once this one's data
     /// is ready (the bus transfer is already queued in order).
     pub fn dma_read_timed(&mut self, now: Tick, addr: Addr, size: u64) -> DmaTiming {
+        let now = now + self.dma_fault_delay(now);
         let lines = lines_touched(addr, size.max(1));
         let first = line_base(addr);
         let mut data_ready = now;
@@ -625,6 +673,39 @@ mod tests {
             t_hit < t_miss,
             "llc-sourced {t_hit} < dram-sourced {t_miss}"
         );
+    }
+
+    #[test]
+    fn dma_burst_fault_adds_latency_inside_windows() {
+        use simnet_sim::fault::{FaultInjector, FaultPlan};
+        let plan = FaultPlan::parse("dma.burst=+500ns/1us@10us").unwrap();
+        let mut faulty = system();
+        faulty.set_fault_injector(FaultInjector::new(plan, 1));
+        let mut clean = system();
+        let addr = layout::mbuf_addr(0);
+        // Inside the burst window (t=0): the faulty system is 500 ns late.
+        let f = faulty.dma_write_timed(0, addr, 1518);
+        let c = clean.dma_write_timed(0, addr, 1518);
+        assert_eq!(f.complete, c.complete + ns(500));
+        // Outside the window (t=5 µs): identical timing.
+        let t = simnet_sim::tick::us(5);
+        let f = faulty.dma_read_timed(t, addr, 1518);
+        let c = clean.dma_read_timed(t, addr, 1518);
+        assert_eq!(f.complete, c.complete);
+    }
+
+    #[test]
+    fn dca_forced_miss_sends_write_to_dram() {
+        use simnet_sim::fault::{FaultInjector, FaultPlan};
+        let plan = FaultPlan::parse("dma.dca_miss=100%").unwrap();
+        let mut mem = system();
+        let inj = FaultInjector::new(plan, 1);
+        mem.set_fault_injector(inj.clone());
+        let addr = layout::mbuf_addr(0);
+        mem.dma_write(0, addr, 1518);
+        let (_, level) = mem.core_read(10_000_000, addr, 8);
+        assert_eq!(level, HitLevel::Dram, "forced miss bypasses the LLC");
+        assert!(inj.counts().dca_forced_misses > 0);
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub enum DropKind {
     Core,
     /// The TX path backed up into the RX path.
     Tx,
+    /// An injected fault (link bit error, corrupted writeback) killed the
+    /// packet — counted separately from the Fig. 4 congestion taxonomy.
+    Fault,
 }
 
 impl DropKind {
@@ -35,6 +38,7 @@ impl DropKind {
             DropKind::Dma => DropClass::Dma,
             DropKind::Core => DropClass::Core,
             DropKind::Tx => DropClass::Tx,
+            DropKind::Fault => DropClass::Fault,
         }
     }
 }
@@ -85,6 +89,8 @@ pub struct DropFsm {
     pub core_drops: Counter,
     /// Drops attributed to the TX path.
     pub tx_drops: Counter,
+    /// Drops caused by injected faults (outside the Fig. 4 taxonomy).
+    pub fault_drops: Counter,
     /// Packets accepted (no drop).
     pub accepted: Counter,
 }
@@ -125,9 +131,19 @@ impl DropFsm {
         Some(kind)
     }
 
-    /// Total drops of all causes.
+    /// Counts a fault-induced drop. The Fig. 4 state is untouched: fault
+    /// drops say nothing about buffer fullness.
+    pub fn on_fault_drop(&mut self) -> DropKind {
+        self.fault_drops.inc();
+        DropKind::Fault
+    }
+
+    /// Total drops of all causes, fault-induced included.
     pub fn total_drops(&self) -> u64 {
-        self.dma_drops.value() + self.core_drops.value() + self.tx_drops.value()
+        self.dma_drops.value()
+            + self.core_drops.value()
+            + self.tx_drops.value()
+            + self.fault_drops.value()
     }
 
     /// Drop rate over all observed receptions (0.0 when idle).
@@ -140,10 +156,12 @@ impl DropFsm {
         }
     }
 
-    /// Fraction of drops attributed to each cause `(dma, core, tx)`;
-    /// zeros when nothing dropped. This is one bar of Fig. 5.
+    /// Fraction of *congestion* drops attributed to each cause
+    /// `(dma, core, tx)`; zeros when nothing dropped. This is one bar of
+    /// Fig. 5 — fault drops are excluded so injected faults never skew
+    /// the paper's taxonomy.
     pub fn breakdown(&self) -> (f64, f64, f64) {
-        let total = self.total_drops();
+        let total = self.dma_drops.value() + self.core_drops.value() + self.tx_drops.value();
         if total == 0 {
             return (0.0, 0.0, 0.0);
         }
@@ -159,6 +177,7 @@ impl DropFsm {
         self.dma_drops.reset();
         self.core_drops.reset();
         self.tx_drops.reset();
+        self.fault_drops.reset();
         self.accepted.reset();
     }
 }
@@ -264,6 +283,25 @@ mod tests {
         assert!((dma - 0.25).abs() < 1e-12);
         assert!((core - 0.5).abs() < 1e-12);
         assert!((tx - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_drops_count_but_keep_state_and_breakdown() {
+        let mut fsm = DropFsm::new();
+        fsm.on_packet_rx(state(true, false, false));
+        assert_eq!(fsm.on_fault_drop(), DropKind::Fault);
+        assert_eq!(fsm.fault_drops.value(), 1);
+        assert_eq!(fsm.total_drops(), 2, "fault counts toward total");
+        assert_eq!(fsm.state_bits(), 0b100, "Fig. 4 state untouched");
+        let (dma, core, tx) = fsm.breakdown();
+        assert_eq!(
+            (dma, core, tx),
+            (1.0, 0.0, 0.0),
+            "breakdown excludes faults"
+        );
+        assert_eq!(DropKind::Fault.trace_class(), DropClass::Fault);
+        fsm.reset_stats();
+        assert_eq!(fsm.fault_drops.value(), 0);
     }
 
     #[test]

@@ -12,8 +12,9 @@ use simnet_mem::system::DmaTiming;
 use simnet_mem::{layout, MemorySystem};
 use simnet_net::{MacAddr, Packet};
 use simnet_pci::{CompatMode, ConfigSpace};
+use simnet_sim::fault::{FaultInjector, FaultKind};
 use simnet_sim::stats::Counter;
-use simnet_sim::trace::{Component, Stage, Tracer};
+use simnet_sim::trace::{Component, Stage, Tracer, NO_PACKET};
 use simnet_sim::Tick;
 
 use crate::config::NicConfig;
@@ -75,6 +76,7 @@ pub struct Nic {
     fsm: DropFsm,
     stats: NicStats,
     tracer: Tracer,
+    faults: FaultInjector,
 
     // --- RX path ---
     rx_fifo: ByteFifo<Packet>,
@@ -136,6 +138,7 @@ impl Nic {
             fsm: DropFsm::new(),
             stats: NicStats::default(),
             tracer: Tracer::disabled(),
+            faults: FaultInjector::disabled(),
             rx_fifo: ByteFifo::new(cfg.rx_fifo_bytes),
             rx_avail: 0,
             desc_cache: 0,
@@ -186,9 +189,18 @@ impl Nic {
         &self.fsm
     }
 
-    /// Attaches a packet-lifecycle tracer (see `simnet_sim::trace`).
+    /// Attaches a packet-lifecycle tracer (see `simnet_sim::trace`),
+    /// shared with the device's PCI config space.
     pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.pci.set_tracer(tracer.clone());
         self.tracer = tracer;
+    }
+
+    /// Attaches a fault injector (see `simnet_sim::fault`), shared with
+    /// the device's PCI config space.
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.pci.set_fault_injector(faults.clone());
+        self.faults = faults;
     }
 
     /// Diagnostic: RX FIFO bytes currently used.
@@ -254,7 +266,47 @@ impl Nic {
     pub fn wire_rx(&mut self, now: Tick, packet: Packet) -> Option<DropKind> {
         self.settle(now);
         let len = packet.len() as u64;
-        let observed = self.buffer_state(len);
+        // Injected link bit error: the frame fails its FCS check at the
+        // MAC and is discarded before it can touch any buffer.
+        if self.faults.link_bit_error(len * 8) {
+            let kind = self.fsm.on_fault_drop();
+            self.tracer.emit(
+                now,
+                packet.id(),
+                Component::Nic,
+                Stage::Fault {
+                    kind: FaultKind::LinkBitError,
+                    ticks: 0,
+                },
+            );
+            self.tracer.emit(
+                now,
+                packet.id(),
+                Component::Nic,
+                Stage::Drop {
+                    class: kind.trace_class(),
+                    fifo_used: self.rx_fifo.used(),
+                    ring_free: (self.rx_avail + self.desc_cache) as u32,
+                    tx_used: self.tx_occupancy as u32,
+                },
+            );
+            return Some(kind);
+        }
+        let mut observed = self.buffer_state(len);
+        // Injected stuck-full window: the FIFO refuses the frame whatever
+        // its real occupancy; the Fig. 4 FSM classifies as usual.
+        if self.faults.fifo_stuck(now) {
+            observed.rx_fifo_full = true;
+            self.tracer.emit(
+                now,
+                packet.id(),
+                Component::Nic,
+                Stage::Fault {
+                    kind: FaultKind::FifoStuck,
+                    ticks: 0,
+                },
+            );
+        }
         let verdict = self.fsm.on_packet_rx(observed);
         if verdict.is_some() {
             if std::env::var_os("SIMNET_TRACE_DROP").is_some() {
@@ -324,6 +376,20 @@ impl Nic {
         let head_id = head.id();
 
         self.settle(now);
+        // A transiently cleared bus-master enable blocks new DMA; the
+        // node schedules a retry at the end of the fault window.
+        if self.faults.master_cleared(now) {
+            self.tracer.emit(
+                now,
+                NO_PACKET,
+                Component::Pci,
+                Stage::Fault {
+                    kind: FaultKind::PciMasterClear,
+                    ticks: 0,
+                },
+            );
+            return None;
+        }
         let mut t = now;
         // Replenish the descriptor cache if needed (and possible).
         if self.desc_cache == 0 {
@@ -403,15 +469,57 @@ impl Nic {
             .expect("non-empty");
         let timing =
             mem.dma_write_control(now.max(data_done), addr, count as u64 * layout::DESC_SIZE);
-        for (_, packet, slot) in self.rx_pending_wb.drain(..) {
+        // Injected writeback delay: the whole batch lands late (one roll
+        // per writeback transaction).
+        let delay = self.faults.wb_delay();
+        let visible_at = timing.complete + delay;
+        if delay > 0 {
             self.tracer.emit(
                 timing.complete,
+                NO_PACKET,
+                Component::Nic,
+                Stage::Fault {
+                    kind: FaultKind::WbDelay,
+                    ticks: delay,
+                },
+            );
+        }
+        for (_, packet, slot) in std::mem::take(&mut self.rx_pending_wb) {
+            // Injected writeback corruption: the descriptor's status bits
+            // are garbage, software never sees the frame, and the mbuf
+            // leaks until the ring wraps — a classified fault drop.
+            if self.faults.wb_corrupt() {
+                let kind = self.fsm.on_fault_drop();
+                self.tracer.emit(
+                    visible_at,
+                    packet.id(),
+                    Component::Nic,
+                    Stage::Fault {
+                        kind: FaultKind::WbCorrupt,
+                        ticks: 0,
+                    },
+                );
+                self.tracer.emit(
+                    visible_at,
+                    packet.id(),
+                    Component::Nic,
+                    Stage::Drop {
+                        class: kind.trace_class(),
+                        fifo_used: self.rx_fifo.used(),
+                        ring_free: (self.rx_avail + self.desc_cache) as u32,
+                        tx_used: self.tx_occupancy as u32,
+                    },
+                );
+                continue;
+            }
+            self.tracer.emit(
+                visible_at,
                 packet.id(),
                 Component::Nic,
                 Stage::RingPublish { slot: slot as u32 },
             );
             self.rx_visible.push_back(RxCompletion {
-                visible_at: timing.complete,
+                visible_at,
                 packet,
                 slot,
             });
@@ -530,6 +638,18 @@ impl Nic {
         let head_len = self.tx_queue.front().map(|r| r.packet.len() as u64)?;
         if !self.tx_fifo.fits(head_len) {
             // Wire is behind; the node re-kicks after draining the FIFO.
+            return None;
+        }
+        if self.faults.master_cleared(now) {
+            self.tracer.emit(
+                now,
+                NO_PACKET,
+                Component::Pci,
+                Stage::Fault {
+                    kind: FaultKind::PciMasterClear,
+                    ticks: 0,
+                },
+            );
             return None;
         }
         let req = self.tx_queue.pop_front().expect("head exists");

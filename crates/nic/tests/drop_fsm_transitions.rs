@@ -45,7 +45,8 @@ fn fill_fifo_until_drop(nic: &mut Nic, now: u64, first_id: u64) -> DropKind {
     panic!("FIFO never filled");
 }
 
-/// Per-class totals of `Stage::Drop` events in a trace.
+/// Per-class totals of `Stage::Drop` events in a trace (congestion
+/// classes only; these tests never install a fault plan).
 fn trace_drop_counts(events: &[simnet_sim::TraceEvent]) -> (u64, u64, u64) {
     let (mut dma, mut core, mut tx) = (0, 0, 0);
     for ev in events {
@@ -55,6 +56,7 @@ fn trace_drop_counts(events: &[simnet_sim::TraceEvent]) -> (u64, u64, u64) {
                 DropClass::Dma => dma += 1,
                 DropClass::Core => core += 1,
                 DropClass::Tx => tx += 1,
+                DropClass::Fault => panic!("no fault plan installed"),
             }
         }
     }

@@ -1,5 +1,9 @@
 //! The 256-byte PCI configuration space with width-aware access semantics.
 
+use simnet_sim::fault::{FaultInjector, FaultKind};
+use simnet_sim::trace::{Component, Stage, Tracer, NO_PACKET};
+use simnet_sim::Tick;
+
 use crate::command::Command;
 
 /// Offset of the Vendor ID field.
@@ -43,6 +47,8 @@ pub enum CompatMode {
 pub struct ConfigSpace {
     bytes: [u8; 256],
     mode: CompatMode,
+    faults: FaultInjector,
+    tracer: Tracer,
 }
 
 impl ConfigSpace {
@@ -51,7 +57,22 @@ impl ConfigSpace {
         let mut bytes = [0u8; 256];
         bytes[OFF_VENDOR_ID..OFF_VENDOR_ID + 2].copy_from_slice(&vendor_id.to_le_bytes());
         bytes[OFF_DEVICE_ID..OFF_DEVICE_ID + 2].copy_from_slice(&device_id.to_le_bytes());
-        Self { bytes, mode }
+        Self {
+            bytes,
+            mode,
+            faults: FaultInjector::disabled(),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Attaches a fault injector (see `simnet_sim::fault`).
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.faults = faults;
+    }
+
+    /// Attaches a packet-lifecycle tracer for fault events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The compatibility mode.
@@ -124,6 +145,47 @@ impl ConfigSpace {
             value |= (self.bytes[offset + i] as u32) << (8 * i);
         }
         value
+    }
+
+    /// Like [`ConfigSpace::read_config`], but subject to fault injection:
+    /// returns the value read and the tick at which the read completes.
+    ///
+    /// Under a `pci.stall` fault the completion tick moves out by the
+    /// stall; under a `pci.master_clear` window, reads covering the
+    /// Command register observe the bus-master enable bit cleared (the
+    /// driver sees a device that transiently stopped mastering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1/2/4 or the access crosses the space.
+    pub fn read_config_timed(&self, now: Tick, offset: usize, width: usize) -> (u32, Tick) {
+        let mut value = self.read_config(offset, width);
+        let covers_command_lo = offset <= OFF_COMMAND && offset + width > OFF_COMMAND;
+        if covers_command_lo && self.faults.master_cleared(now) {
+            value &= !((Command::BUS_MASTER as u32) << (8 * (OFF_COMMAND - offset)));
+            self.tracer.emit(
+                now,
+                NO_PACKET,
+                Component::Pci,
+                Stage::Fault {
+                    kind: FaultKind::PciMasterClear,
+                    ticks: 0,
+                },
+            );
+        }
+        let stall = self.faults.pci_stall();
+        if stall > 0 {
+            self.tracer.emit(
+                now,
+                NO_PACKET,
+                Component::Pci,
+                Stage::Fault {
+                    kind: FaultKind::PciStall,
+                    ticks: stall,
+                },
+            );
+        }
+        (value, now + stall)
     }
 
     /// Writes `width` bytes (1, 2 or 4) at `offset`, little-endian, with
@@ -254,6 +316,53 @@ mod tests {
         let mut cs = extended();
         cs.write_config(OFF_STATUS, 2, 0xffff);
         assert_eq!(cs.read_config(OFF_STATUS, 2), 0);
+    }
+
+    #[test]
+    fn timed_read_without_faults_is_instant() {
+        let mut cs = extended();
+        cs.write_config(OFF_COMMAND, 2, Command::BUS_MASTER as u32);
+        let (value, done) = cs.read_config_timed(1_000, OFF_COMMAND, 2);
+        assert_eq!(value, Command::BUS_MASTER as u32);
+        assert_eq!(done, 1_000);
+    }
+
+    #[test]
+    fn stall_fault_delays_reads() {
+        use simnet_sim::fault::{FaultInjector, FaultPlan};
+        let mut cs = extended();
+        // 100% stall probability: every read pays the delay.
+        let plan = FaultPlan::parse("pci.stall=200ns@100%").unwrap();
+        let inj = FaultInjector::new(plan, 1);
+        cs.set_fault_injector(inj.clone());
+        let (_, done) = cs.read_config_timed(0, 0x00, 4);
+        assert_eq!(done, simnet_sim::tick::ns(200));
+        assert_eq!(inj.counts().pci_stalls, 1);
+    }
+
+    #[test]
+    fn master_clear_window_hides_bus_master_bit() {
+        use simnet_sim::fault::{FaultInjector, FaultPlan};
+        let mut cs = extended();
+        cs.write_config(OFF_COMMAND, 2, Command::BUS_MASTER as u32);
+        let plan = FaultPlan::parse("pci.master_clear=1us@10us").unwrap();
+        let inj = FaultInjector::new(plan, 1);
+        cs.set_fault_injector(inj.clone());
+        // Inside the window: the bit reads cleared (16-bit and 32-bit).
+        let (value, _) = cs.read_config_timed(0, OFF_COMMAND, 2);
+        assert_eq!(value & Command::BUS_MASTER as u32, 0);
+        let (dword, _) = cs.read_config_timed(0, OFF_COMMAND, 4);
+        assert_eq!(dword & Command::BUS_MASTER as u32, 0);
+        // Outside the window: the stored value is intact.
+        let (value, _) = cs.read_config_timed(simnet_sim::tick::us(2), OFF_COMMAND, 2);
+        assert_eq!(
+            value & Command::BUS_MASTER as u32,
+            Command::BUS_MASTER as u32
+        );
+        // Reads not covering the Command register are never masked.
+        let (ids, _) = cs.read_config_timed(0, 0x00, 4);
+        assert_eq!(ids, 0x100e_8086);
+        assert_eq!(inj.counts().master_clear_blocks, 2);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   serialization, and a stable 64-bit trace hash for golden-file
 //!   comparison. Disabled by default; a disabled tracer costs one
 //!   null-check per emit.
+//! * [`fault`] — deterministic fault injection: a seeded [`FaultPlan`]
+//!   (its own RNG streams, independent of the workload RNG) queried by
+//!   components through a cloneable [`FaultInjector`] handle. Disabled by
+//!   default with the same null-check discipline as the tracer.
 //!
 //! # Determinism
 //!
@@ -40,11 +44,13 @@
 //! ```
 
 pub mod event;
+pub mod fault;
 pub mod random;
 pub mod stats;
 pub mod tick;
 pub mod trace;
 
 pub use event::{Event, EventQueue, Priority};
+pub use fault::{FaultCounts, FaultInjector, FaultKind, FaultPlan};
 pub use tick::Tick;
 pub use trace::{Component, DropClass, Stage, TraceEvent, Tracer};

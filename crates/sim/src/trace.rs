@@ -50,11 +50,13 @@ pub enum Component {
     App = 5,
     /// The simulation harness (periodic stat probes).
     Sim = 6,
+    /// The PCI config/host interface (fault injection view).
+    Pci = 7,
 }
 
 impl Component {
     /// Every component, in canonical order.
-    pub const ALL: [Component; 7] = [
+    pub const ALL: [Component; 8] = [
         Component::LoadGen,
         Component::Link,
         Component::Nic,
@@ -62,10 +64,11 @@ impl Component {
         Component::Stack,
         Component::App,
         Component::Sim,
+        Component::Pci,
     ];
 
     /// Filter mask accepting every component.
-    pub const ALL_MASK: u32 = (1 << 7) - 1;
+    pub const ALL_MASK: u32 = (1 << 8) - 1;
 
     /// The component's canonical lowercase name.
     pub fn name(self) -> &'static str {
@@ -77,6 +80,7 @@ impl Component {
             Component::Stack => "stack",
             Component::App => "app",
             Component::Sim => "sim",
+            Component::Pci => "pci",
         }
     }
 
@@ -104,6 +108,9 @@ pub enum DropClass {
     /// RX FIFO, RX ring, and TX ring all full: TX backpressure stalled
     /// the processing loop.
     Tx,
+    /// An injected fault killed the frame (bit error, corrupted
+    /// writeback) — not a congestion drop.
+    Fault,
 }
 
 impl DropClass {
@@ -113,6 +120,7 @@ impl DropClass {
             DropClass::Dma => "dma",
             DropClass::Core => "core",
             DropClass::Tx => "tx",
+            DropClass::Fault => "fault",
         }
     }
 }
@@ -200,6 +208,14 @@ pub enum Stage {
         /// LLC misses so far (core + DMA paths).
         misses: u64,
     },
+    /// A fault fired at this component ([`crate::fault`]). Latency faults
+    /// carry the added delay in `ticks`; on/off faults carry 0.
+    Fault {
+        /// Which fault fired.
+        kind: crate::fault::FaultKind,
+        /// Added latency in ticks, or 0 for non-latency faults.
+        ticks: u64,
+    },
 }
 
 impl Stage {
@@ -223,6 +239,7 @@ impl Stage {
             Stage::DcaPlace { .. } => "dca_place",
             Stage::ProbeQueues { .. } => "probe_queues",
             Stage::ProbeCache { .. } => "probe_cache",
+            Stage::Fault { .. } => "fault",
         }
     }
 }
@@ -419,6 +436,9 @@ fn write_stage_fields(out: &mut String, stage: &Stage) {
         }
         Stage::ProbeCache { lookups, misses } => {
             write!(out, " lookups={lookups} misses={misses}").expect("string write");
+        }
+        Stage::Fault { kind, ticks } => {
+            write!(out, " kind={} ticks={ticks}", kind.name()).expect("string write");
         }
         Stage::WireRx
         | Stage::SwRx
@@ -623,6 +643,37 @@ mod tests {
         assert_eq!(
             probe,
             "t=99 pkt=- comp=nic stage=probe_cache lookups=10 misses=3"
+        );
+    }
+
+    #[test]
+    fn fault_line_is_stable() {
+        let line = canonical_line(&TraceEvent {
+            tick: 5,
+            packet_id: NO_PACKET,
+            component: Component::Pci,
+            stage: Stage::Fault {
+                kind: crate::fault::FaultKind::PciStall,
+                ticks: 200_000,
+            },
+        });
+        assert_eq!(
+            line,
+            "t=5 pkt=- comp=pci stage=fault kind=pci_stall ticks=200000"
+        );
+        let drop = canonical_line(&ev(
+            6,
+            9,
+            Stage::Drop {
+                class: DropClass::Fault,
+                fifo_used: 0,
+                ring_free: 32,
+                tx_used: 0,
+            },
+        ));
+        assert_eq!(
+            drop,
+            "t=6 pkt=9 comp=nic stage=drop class=fault fifo=0 ring_free=32 tx_used=0"
         );
     }
 

@@ -10,7 +10,8 @@
 
 use simnet::harness::summary::Phases;
 use simnet::harness::tracerun::TracedRun;
-use simnet::harness::{run_traced, AppSpec, RunConfig, SystemConfig};
+use simnet::harness::{run_traced, run_traced_with, AppSpec, RunConfig, SystemConfig, TraceOpts};
+use simnet::sim::fault::{FaultInjector, FaultPlan};
 use simnet::sim::tick::us;
 use simnet::sim::trace::{trace_hash, Component};
 
@@ -34,6 +35,33 @@ fn golden_point() -> TracedRun {
         rc,
         1 << 16,
         Component::ALL_MASK,
+    )
+}
+
+/// The golden point with a fault plan installed: the same workload as
+/// [`golden_point`] plus a BER high enough to corrupt a few frames and a
+/// periodic DMA latency burst — chaos that must still be byte-for-byte
+/// reproducible from the fault seed.
+fn faulted_point(fault_seed: u64) -> TracedRun {
+    let cfg = SystemConfig::gem5();
+    let rc = RunConfig {
+        phases: Phases {
+            warmup: 0,
+            measure: us(250),
+        },
+    };
+    let plan = FaultPlan::parse("link.ber=3e-5;dma.burst=+500ns/2us@20us").unwrap();
+    run_traced_with(
+        &cfg,
+        &AppSpec::TestPmd,
+        1518,
+        2.0,
+        rc,
+        TraceOpts {
+            capacity: 1 << 16,
+            mask: Component::ALL_MASK,
+            faults: FaultInjector::new(plan, fault_seed),
+        },
     )
 }
 
@@ -76,6 +104,72 @@ fn trace_matches_committed_golden_file() {
         text, golden,
         "trace diverged from the golden file; if the change is intentional, \
          regenerate with SIMNET_UPDATE_GOLDEN=1 cargo test --test golden_trace"
+    );
+}
+
+/// Chaos determinism: the faulted event stream is a pure function of the
+/// fault seed. Two freshly rebuilt simulators with the same seed emit
+/// byte-identical canonical traces; a different seed perturbs them.
+#[test]
+fn faulted_trace_is_deterministic_and_seed_sensitive() {
+    let a = faulted_point(11);
+    let b = faulted_point(11);
+    assert!(!a.events.is_empty());
+    assert_eq!(a.evicted, 0, "faulted golden trace must fit the ring");
+    assert_eq!(
+        a.canonical_text(),
+        b.canonical_text(),
+        "same fault seed must reproduce the chaos byte-for-byte"
+    );
+    assert_eq!(a.hash(), b.hash());
+    assert!(
+        a.fault_counts.total() > 0,
+        "the faulted plan must actually inject faults: {:?}",
+        a.fault_counts
+    );
+    assert_eq!(
+        a.fault_counts.total(),
+        b.fault_counts.total(),
+        "fault counters are part of the deterministic surface"
+    );
+
+    let c = faulted_point(12);
+    assert_ne!(
+        a.hash(),
+        c.hash(),
+        "a different fault seed must produce a different trace"
+    );
+}
+
+/// The faulted trace also has a committed golden: fault injection sites
+/// may not drift (new draws, reordered draws) without a deliberate
+/// regeneration.
+#[test]
+fn faulted_trace_matches_committed_golden_file() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/testpmd_faulted.trace"
+    );
+    let run = faulted_point(11);
+    let text = run.canonical_text();
+    assert!(
+        text.contains("stage=fault"),
+        "faulted golden must contain fault events"
+    );
+
+    if std::env::var_os("SIMNET_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+        std::fs::write(path, &text).unwrap();
+        return;
+    }
+
+    let golden = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("cannot read {path}: {e}; run with SIMNET_UPDATE_GOLDEN=1 to create it")
+    });
+    assert_eq!(
+        text, golden,
+        "faulted trace diverged from the golden file; if the change is \
+         intentional, regenerate with SIMNET_UPDATE_GOLDEN=1 cargo test --test golden_trace"
     );
 }
 
