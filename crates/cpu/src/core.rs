@@ -126,6 +126,40 @@ impl CoreStats {
     }
 }
 
+impl Core {
+    /// Registers the `system.cpu.*` statistics section.
+    pub fn register_stats(&self, reg: &mut simnet_sim::stats::StatsRegistry) {
+        let c = &self.stats;
+        reg.scoped("system.cpu", |reg| {
+            reg.scalar(
+                "committedInsts",
+                c.instructions.value(),
+                "instructions committed",
+            );
+            reg.scalar("num_loads", c.loads.value(), "loads issued");
+            reg.scalar("num_stores", c.stores.value(), "stores issued");
+            reg.float("ipc", c.ipc(self.cfg.frequency), "instructions per cycle");
+            reg.float(
+                "stall_fraction",
+                c.stall_fraction(),
+                "fraction of time memory-stalled",
+            );
+            if reg.full() {
+                reg.scalar(
+                    "compute_ticks",
+                    c.compute_ticks.value(),
+                    "ticks spent in pure compute",
+                );
+                reg.scalar(
+                    "total_ticks",
+                    c.total_ticks.value(),
+                    "ticks across all execute calls",
+                );
+            }
+        });
+    }
+}
+
 /// A single core executing op streams against a memory system.
 ///
 /// ```
@@ -495,6 +529,28 @@ mod tests {
         let done = core.execute(0, &ops, &mut m);
         // If stores were free this would be ~100 issue slots (~8 ns).
         assert!(done > 100_000, "SQ pressure must show: {done}");
+    }
+
+    #[test]
+    fn register_stats_reports_the_legacy_cpu_set() {
+        use simnet_sim::stats::{DumpLevel, StatValue, StatsRegistry};
+        let mut m = mem();
+        let mut core = Core::new(CoreConfig::table1_ooo());
+        core.execute(0, &[Op::Compute(10), Op::Load(0x1000)], &mut m);
+        let mut reg = StatsRegistry::new();
+        core.register_stats(&mut reg);
+        assert_eq!(
+            reg.get("system.cpu.committedInsts"),
+            Some(&StatValue::Scalar(11))
+        );
+        assert!(reg.get("system.cpu.ipc").is_some());
+        assert!(
+            reg.get("system.cpu.total_ticks").is_none(),
+            "compat level omits post-migration extras"
+        );
+        let mut full = StatsRegistry::with_level(DumpLevel::Full);
+        core.register_stats(&mut full);
+        assert!(full.get("system.cpu.total_ticks").is_some());
     }
 
     #[test]

@@ -4,20 +4,30 @@
 //! repro [--quick] [--out DIR] [all|table1|fig5|fig6|fig7|fig8|fig9|fig10|
 //!                              fig11|fig12|fig13|fig14|fig15|fig16|fig17|
 //!                              fig18|fig19|fig20|headline|fault-matrix]
-//! repro --trace PATH [--trace-filter COMPONENTS] [--trace-gbps G]
+//! repro [--trace PATH] [--trace-filter COMPONENTS] [--trace-gbps G]
+//!       [--stats-out FILE] [--stats-interval US] [--profile]
 //!       [--faults PLAN] [--fault-seed N]
 //! ```
 //!
 //! Results print as tables and are written as CSVs under `--out`
 //! (default `results/`).
 //!
-//! With `--trace PATH` the binary instead runs one short, deliberately
-//! overloaded TestPMD point with the packet-lifecycle trace layer enabled
-//! and writes the trace to `PATH` — canonical text, or JSON when `PATH`
-//! ends in `.json`. `--trace-filter` limits the trace to a comma-separated
-//! component list (`loadgen,link,nic,pci,mem,stack,app,sim`).
+//! Any of `--trace`, `--stats-out`, or `--profile` switches the binary to
+//! single-point mode: one short, deliberately overloaded TestPMD run with
+//! the selected observability layers attached.
 //!
-//! `--faults PLAN` installs a deterministic fault plan for the traced run
+//! * `--trace PATH` writes the packet-lifecycle trace to `PATH` —
+//!   canonical text, or JSON when `PATH` ends in `.json`. `--trace-filter`
+//!   limits it to a comma-separated component list
+//!   (`loadgen,link,nic,pci,mem,stack,app,sim`).
+//! * `--stats-out FILE` samples counters and queue gauges every
+//!   `--stats-interval` simulated microseconds (default 100) and writes
+//!   the time series to `FILE` — ndjson, or CSV when `FILE` ends in
+//!   `.csv`.
+//! * `--profile` attaches the simulator self-profiler and prints the
+//!   per-event-kind host-time table after the run.
+//!
+//! `--faults PLAN` installs a deterministic fault plan for the run
 //! (grammar: `link.ber=1e-7;pci.stall=200ns@10%;dma.burst=+500ns/1us`; see
 //! `simnet_sim::fault::FaultPlan`). `--fault-seed N` picks the fault RNG
 //! seed (default 42); the workload RNG is untouched either way.
@@ -26,8 +36,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use simnet_harness::experiments::{self, Effort, ExperimentOutput};
-use simnet_harness::{run_traced_with, AppSpec, RunConfig, SystemConfig, TraceOpts};
-use simnet_sim::fault::{FaultInjector, FaultPlan};
+use simnet_harness::{run_observed, AppSpec, ObserveOpts, RunConfig, SystemConfig};
+use simnet_sim::fault::FaultInjector;
+use simnet_sim::fault::FaultPlan;
+use simnet_sim::tick;
 use simnet_sim::trace::{self, Component, Stage};
 
 const EXPERIMENTS: &[&str] = &[
@@ -92,8 +104,33 @@ fn run_one(name: &str, effort: Effort) -> Option<ExperimentOutput> {
     Some(out)
 }
 
-/// Runs one traced TestPMD point and writes the serialized trace.
-fn run_trace_mode(path: &PathBuf, mask: u32, offered_gbps: f64, faults: FaultInjector) -> ExitCode {
+/// The single-point observed run: which layers `--trace`, `--stats-out`
+/// and `--profile` selected.
+struct PointMode {
+    trace_path: Option<PathBuf>,
+    trace_mask: u32,
+    stats_path: Option<PathBuf>,
+    stats_interval_us: u64,
+    profile: bool,
+}
+
+fn write_file(path: &PathBuf, contents: &str) -> Result<(), ExitCode> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create {}: {e}", parent.display());
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    }
+    std::fs::write(path, contents).map_err(|e| {
+        eprintln!("cannot write {}: {e}", path.display());
+        ExitCode::FAILURE
+    })
+}
+
+/// Runs one observed TestPMD point and writes the requested outputs.
+fn run_point_mode(mode: &PointMode, offered_gbps: f64, faults: FaultInjector) -> ExitCode {
     let cfg = SystemConfig::gem5();
     let spec = AppSpec::TestPmd;
     let rc = RunConfig::fast();
@@ -106,80 +143,118 @@ fn run_trace_mode(path: &PathBuf, mask: u32, offered_gbps: f64, faults: FaultInj
         );
     }
     println!(
-        "tracing {} @ {offered_gbps:.1} Gbps (1518 B frames, fast phases)",
+        "observing {} @ {offered_gbps:.1} Gbps (1518 B frames, fast phases)",
         spec.label()
     );
-    let run = run_traced_with(
+    let run = run_observed(
         &cfg,
         &spec,
         1518,
         offered_gbps,
         rc,
-        TraceOpts {
-            capacity: 1 << 22,
-            mask,
+        ObserveOpts {
+            trace: mode.trace_path.as_ref().map(|_| (1 << 22, mode.trace_mask)),
             faults,
+            stats_interval: mode
+                .stats_path
+                .as_ref()
+                .map(|_| tick::us(mode.stats_interval_us.max(1))),
+            profile: mode.profile,
         },
     );
 
-    // The FSM counters reset at the end of warm-up; compare only trace
-    // drops inside the measurement window so the cross-check is exact.
-    let (mut dma, mut core, mut tx, mut fault) = (0u64, 0u64, 0u64, 0u64);
-    // Packet-conservation ledger over the whole run (warm-up included —
-    // the trace is attached from t=0).
-    let (mut injected, mut delivered, mut dropped) = (0u64, 0u64, 0u64);
-    for ev in &run.events {
-        match ev.stage {
-            Stage::Inject { .. } => injected += 1,
-            Stage::EchoRx => delivered += 1,
-            Stage::Drop { class, .. } => {
-                dropped += 1;
-                if ev.tick > rc.phases.warmup {
-                    match class {
-                        trace::DropClass::Dma => dma += 1,
-                        trace::DropClass::Core => core += 1,
-                        trace::DropClass::Tx => tx += 1,
-                        trace::DropClass::Fault => fault += 1,
+    if let Some(path) = &mode.trace_path {
+        // The FSM counters reset at the end of warm-up; compare only
+        // trace drops inside the measurement window so the cross-check is
+        // exact.
+        let (mut dma, mut core, mut tx, mut fault) = (0u64, 0u64, 0u64, 0u64);
+        // Packet-conservation ledger over the whole run (warm-up included
+        // — the trace is attached from t=0).
+        let (mut injected, mut delivered, mut dropped) = (0u64, 0u64, 0u64);
+        for ev in &run.events {
+            match ev.stage {
+                Stage::Inject { .. } => injected += 1,
+                Stage::EchoRx => delivered += 1,
+                Stage::Drop { class, .. } => {
+                    dropped += 1;
+                    if ev.tick > rc.phases.warmup {
+                        match class {
+                            trace::DropClass::Dma => dma += 1,
+                            trace::DropClass::Core => core += 1,
+                            trace::DropClass::Tx => tx += 1,
+                            trace::DropClass::Fault => fault += 1,
+                        }
                     }
                 }
+                _ => {}
             }
-            _ => {}
+        }
+
+        let serialized = if path.extension().is_some_and(|e| e == "json") {
+            trace::json(&run.events)
+        } else {
+            trace::canonical_text(&run.events)
+        };
+        if let Err(code) = write_file(path, &serialized) {
+            return code;
+        }
+        println!(
+            "wrote {} events to {} (evicted {}, hash {:016x})",
+            run.events.len(),
+            path.display(),
+            run.evicted,
+            trace::trace_hash(&run.events)
+        );
+        println!(
+            "trace drops (measure window): dma={dma} core={core} tx={tx} fault={fault}; \
+             fsm counters: dma={} core={} tx={} fault={}",
+            run.summary.drop_counts.0,
+            run.summary.drop_counts.1,
+            run.summary.drop_counts.2,
+            run.summary.fault_drops
+        );
+        let in_flight = injected.saturating_sub(delivered + dropped);
+        println!(
+            "conservation: injected={injected} delivered={delivered} dropped={dropped} \
+             in_flight={in_flight}"
+        );
+    }
+
+    if let Some(path) = &mode.stats_path {
+        let ts = run.timeseries.as_ref().expect("sampling was enabled");
+        let serialized = if path.extension().is_some_and(|e| e == "csv") {
+            ts.to_csv()
+        } else {
+            ts.to_ndjson()
+        };
+        if let Err(code) = write_file(path, &serialized) {
+            return code;
+        }
+        println!(
+            "wrote {} interval samples ({} µs apart) to {}",
+            ts.len(),
+            mode.stats_interval_us,
+            path.display()
+        );
+        // Drop onset: the first interval losing packets to a behind DMA
+        // engine, and the FIFO fill level on the way there.
+        let drop_dma = ts.int_column("drop_dma");
+        let fifo_frac = ts.float_column("fifo_frac");
+        let t_us = ts.float_column("t_us");
+        match drop_dma.iter().position(|&d| d > 0) {
+            Some(i) => {
+                let peak_before = fifo_frac[..i].iter().copied().fold(0.0f64, f64::max);
+                println!(
+                    "drop onset: first class=dma drop interval at t={:.0} µs \
+                     (FIFO peaked at {:.0}% of capacity before onset)",
+                    t_us[i],
+                    peak_before * 100.0
+                );
+            }
+            None => println!("drop onset: no DMA-behind drops in the measurement window"),
         }
     }
 
-    let serialized = if path.extension().is_some_and(|e| e == "json") {
-        trace::json(&run.events)
-    } else {
-        run.canonical_text()
-    };
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            if let Err(e) = std::fs::create_dir_all(parent) {
-                eprintln!("cannot create {}: {e}", parent.display());
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    if let Err(e) = std::fs::write(path, serialized) {
-        eprintln!("cannot write {}: {e}", path.display());
-        return ExitCode::FAILURE;
-    }
-
-    println!(
-        "wrote {} events to {} (evicted {}, hash {:016x})",
-        run.events.len(),
-        path.display(),
-        run.evicted,
-        run.hash()
-    );
-    println!(
-        "trace drops (measure window): dma={dma} core={core} tx={tx} fault={fault}; \
-         fsm counters: dma={} core={} tx={} fault={}",
-        run.summary.drop_counts.0,
-        run.summary.drop_counts.1,
-        run.summary.drop_counts.2,
-        run.summary.fault_drops
-    );
     if faulted {
         let fc = &run.fault_counts;
         println!(
@@ -196,16 +271,14 @@ fn run_trace_mode(path: &PathBuf, mask: u32, offered_gbps: f64, faults: FaultInj
             fc.total()
         );
     }
-    let in_flight = injected.saturating_sub(delivered + dropped);
-    println!(
-        "conservation: injected={injected} delivered={delivered} dropped={dropped} \
-         in_flight={in_flight}"
-    );
     println!(
         "achieved {:.2} Gbps, drop rate {:.4}",
         run.summary.achieved_gbps(),
         run.summary.drop_rate
     );
+    if let Some(profile) = &run.profile {
+        println!("\n{}", profile.render());
+    }
     ExitCode::SUCCESS
 }
 
@@ -216,6 +289,9 @@ fn main() -> ExitCode {
     let mut trace_path: Option<PathBuf> = None;
     let mut trace_mask = Component::ALL_MASK;
     let mut trace_gbps = 60.0;
+    let mut stats_path: Option<PathBuf> = None;
+    let mut stats_interval_us = 100u64;
+    let mut profile = false;
     let mut fault_plan: Option<FaultPlan> = None;
     let mut fault_seed = 42u64;
 
@@ -255,6 +331,21 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--stats-out" => match args.next() {
+                Some(p) => stats_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--stats-out requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--stats-interval" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(us) if us > 0 => stats_interval_us = us,
+                _ => {
+                    eprintln!("--stats-interval requires a positive integer (microseconds)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--profile" => profile = true,
             "--faults" => match args.next().as_deref().map(FaultPlan::parse) {
                 Some(Ok(plan)) => fault_plan = Some(plan),
                 Some(Err(e)) => {
@@ -276,7 +367,8 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick] [--out DIR] [all|{}]\n\
-                     \x20      repro --trace PATH [--trace-filter COMPONENTS] [--trace-gbps G]\n\
+                     \x20      repro [--trace PATH] [--trace-filter COMPONENTS] [--trace-gbps G]\n\
+                     \x20            [--stats-out FILE] [--stats-interval US] [--profile]\n\
                      \x20            [--faults PLAN] [--fault-seed N]",
                     EXPERIMENTS.join("|")
                 );
@@ -290,11 +382,18 @@ fn main() -> ExitCode {
         Some(plan) => FaultInjector::new(plan, fault_seed),
         None => FaultInjector::disabled(),
     };
-    if let Some(path) = trace_path {
-        return run_trace_mode(&path, trace_mask, trace_gbps, faults);
+    if trace_path.is_some() || stats_path.is_some() || profile {
+        let mode = PointMode {
+            trace_path,
+            trace_mask,
+            stats_path,
+            stats_interval_us,
+            profile,
+        };
+        return run_point_mode(&mode, trace_gbps, faults);
     }
     if faults.is_enabled() {
-        eprintln!("--faults/--fault-seed only apply to --trace runs");
+        eprintln!("--faults/--fault-seed only apply to single-point runs");
         return ExitCode::FAILURE;
     }
     if targets.is_empty() || targets.iter().any(|t| t == "all") {

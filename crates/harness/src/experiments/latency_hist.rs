@@ -23,12 +23,42 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     cfg.link_latency = 0;
 
     let mut out = ExperimentOutput::default();
+    let mut pct = Table::new(
+        "Forwarding-latency percentiles — TestPMD 256B (µs)".to_string(),
+        &[
+            "offered_gbps",
+            "n",
+            "mean_us",
+            "p50_us",
+            "p90_us",
+            "p99_us",
+            "max_us",
+        ],
+    );
     for &offered in loads {
         let spec = AppSpec::TestPmd;
         let (stack, app) = spec.instantiate(cfg.seed);
         let loadgen = spec.loadgen(&cfg, 256, offered);
         let mut sim = Simulation::loadgen_mode(&cfg, stack, app, loadgen);
+        sim.enable_interval_stats(simnet_sim::tick::us(100));
         let summary = run_phases(&mut sim, RunConfig::fast().phases);
+        sim.finalize_interval_stats();
+        if let Some(ts) = sim.take_timeseries() {
+            out.artifact(
+                format!("latency_hist_{offered:.0}g_ts.ndjson"),
+                ts.to_ndjson(),
+            );
+        }
+        let lat = summary.latency();
+        pct.row(vec![
+            format!("{offered:.0}"),
+            lat.count.to_string(),
+            format!("{:.2}", lat.mean / 1e6),
+            format!("{:.2}", lat.median / 1e6),
+            format!("{:.2}", lat.p90 / 1e6),
+            format!("{:.2}", lat.p99 / 1e6),
+            format!("{:.2}", lat.max / 1e6),
+        ]);
         let lg = sim.loadgen.as_ref().expect("loadgen mode");
         let histogram = lg.latency_histogram();
 
@@ -60,6 +90,7 @@ pub fn run(effort: Effort) -> ExperimentOutput {
         }
         out.table(format!("latency_hist_{offered:.0}g"), t);
     }
+    out.table("latency_percentiles", pct);
     out.note(
         "At light load the histogram is a tight spike near the NIC+software \
          floor; near the knee it widens and shifts right as ring/FIFO \

@@ -120,6 +120,10 @@ pub struct ExperimentOutput {
     pub tables: Vec<(String, Table)>,
     /// Comparison notes against the paper's reported values.
     pub notes: Vec<String>,
+    /// Raw artifact files `(filename, contents)` written next to the CSVs
+    /// — interval time-series (ndjson), event-loop profiles, and similar
+    /// side outputs that don't fit the table shape.
+    pub artifacts: Vec<(String, String)>,
 }
 
 impl ExperimentOutput {
@@ -133,12 +137,25 @@ impl ExperimentOutput {
         self.notes.push(note.into());
     }
 
-    /// Prints everything and writes CSVs under `dir`.
+    /// Adds a raw artifact file (name must include the extension).
+    pub fn artifact(&mut self, filename: impl Into<String>, contents: impl Into<String>) {
+        self.artifacts.push((filename.into(), contents.into()));
+    }
+
+    /// Prints everything and writes CSVs plus artifacts under `dir`.
     pub fn emit(&self, dir: &std::path::Path) {
         for (name, table) in &self.tables {
             println!("{}", table.render());
             if let Err(e) = table.write_csv(dir, name) {
                 eprintln!("warning: could not write {name}.csv: {e}");
+            }
+        }
+        for (filename, contents) in &self.artifacts {
+            let path = dir.join(filename);
+            let write = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, contents));
+            match write {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: could not write {filename}: {e}"),
             }
         }
         for note in &self.notes {

@@ -82,6 +82,24 @@ pub fn run(effort: Effort) -> ExperimentOutput {
          the event count.",
     );
     out.table("fig20_sim_speedup", t);
+
+    // Where does the loadgen-mode wall-clock actually go? Attach the
+    // self-profiler to one representative TestPMD point and ship the
+    // per-event-kind host-time table as an artifact.
+    let profiled = crate::tracerun::run_observed(
+        &SystemConfig::gem5(),
+        &AppSpec::TestPmd,
+        1518,
+        40.0,
+        RunConfig::fast(),
+        crate::tracerun::ObserveOpts {
+            profile: true,
+            ..Default::default()
+        },
+    );
+    if let Some(profile) = &profiled.profile {
+        out.artifact("fig20_profile.txt", profile.render());
+    }
     out
 }
 

@@ -31,6 +31,9 @@ pub use client_app::SoftwareClient;
 pub use config::SystemConfig;
 pub use msb::{find_msb, run_point, AppSpec, MsbResult, RunConfig};
 pub use sim::Simulation;
-pub use stats_dump::stats_text;
+pub use stats_dump::{build_registry, stats_text, stats_text_all};
 pub use summary::RunSummary;
-pub use tracerun::{run_traced, run_traced_all, run_traced_with, TraceOpts, TracedRun};
+pub use tracerun::{
+    run_observed, run_traced, run_traced_all, run_traced_with, ObserveOpts, ObservedRun, TraceOpts,
+    TracedRun,
+};

@@ -17,6 +17,7 @@ use simnet_net::Packet;
 use simnet_nic::{EtherLink, Nic};
 use simnet_pci::devbind::DevBind;
 use simnet_sim::fault::FaultInjector;
+use simnet_sim::stats::{ColumnSpec, Profiler, SampleValue, TimeSeries};
 use simnet_sim::trace::{Component, Stage, TraceEvent, Tracer, NO_PACKET};
 use simnet_sim::{tick, EventQueue, Priority, Tick};
 use simnet_stack::dpdk::{Eal, EalConfig};
@@ -43,6 +44,93 @@ enum Ev {
     Software { node: usize },
     /// Periodic stat-sampling probe (only scheduled while tracing).
     Probe,
+    /// Periodic interval-stats sample (only scheduled when
+    /// [`Simulation::enable_interval_stats`] ran).
+    Sample,
+}
+
+/// Host-time attribution labels, one per [`Ev`] kind: `(kind, component)`.
+const PROFILE_KINDS: &[(&str, &str)] = &[
+    ("loadgen_tx", "loadgen"),
+    ("nic_rx", "link"),
+    ("loadgen_rx", "loadgen"),
+    ("rx_dma", "nic"),
+    ("tx_dma", "nic"),
+    ("tx_wire", "link"),
+    ("software", "stack"),
+    ("probe", "sim"),
+    ("sample", "sim"),
+];
+
+/// Index into [`PROFILE_KINDS`] for an event payload.
+fn kind_index(ev: &Ev) -> usize {
+    match ev {
+        Ev::LoadGenTx => 0,
+        Ev::NicRx { .. } => 1,
+        Ev::LoadGenRx { .. } => 2,
+        Ev::RxDma { .. } => 3,
+        Ev::TxDma { .. } => 4,
+        Ev::TxWire { .. } => 5,
+        Ev::Software { .. } => 6,
+        Ev::Probe => 7,
+        Ev::Sample => 8,
+    }
+}
+
+/// Cumulative counter values at the previous interval sample, for the
+/// per-interval delta columns.
+#[derive(Debug, Default, Clone, Copy)]
+struct SampleBaseline {
+    dma_drops: u64,
+    core_drops: u64,
+    tx_drops: u64,
+    fault_drops: u64,
+    faults: u64,
+}
+
+/// The interval time-series sampler: a periodic simulation event that
+/// snapshots registered counters and live queue gauges into a
+/// [`TimeSeries`] (one row per interval).
+struct IntervalSampler {
+    interval: Tick,
+    series: TimeSeries,
+    prev: SampleBaseline,
+    last_sample: Option<Tick>,
+}
+
+impl IntervalSampler {
+    fn new(interval: Tick) -> Self {
+        Self {
+            interval,
+            series: TimeSeries::new(sample_columns()),
+            prev: SampleBaseline::default(),
+            last_sample: None,
+        }
+    }
+}
+
+/// The interval time-series schema. Cumulative columns restart from the
+/// warm-up reset; `drop_*` and `faults` are per-interval deltas, so they
+/// sum exactly to the final drop-FSM and fault-injection counters.
+fn sample_columns() -> Vec<ColumnSpec> {
+    vec![
+        ColumnSpec::float("t_us", "sample time (simulated microseconds)"),
+        ColumnSpec::int("rx_frames", "cumulative frames accepted from the wire"),
+        ColumnSpec::int("tx_frames", "cumulative frames handed to the wire"),
+        ColumnSpec::int("drop_dma", "drops this interval: DMA engine behind"),
+        ColumnSpec::int("drop_core", "drops this interval: core behind"),
+        ColumnSpec::int("drop_tx", "drops this interval: TX backpressure"),
+        ColumnSpec::int("drop_fault", "drops this interval: injected faults"),
+        ColumnSpec::int("faults", "faults injected this interval (all sites)"),
+        ColumnSpec::int("fifo_used", "RX FIFO bytes in use"),
+        ColumnSpec::float("fifo_frac", "RX FIFO fill fraction"),
+        ColumnSpec::int("ring_free", "free RX descriptors"),
+        ColumnSpec::int("rx_visible", "received frames visible to software"),
+        ColumnSpec::int("tx_used", "occupied TX ring slots"),
+        ColumnSpec::float("llc_miss_rate", "cumulative LLC miss rate"),
+        ColumnSpec::float("ipc", "cumulative instructions per cycle"),
+        ColumnSpec::float("row_hit_rate", "cumulative DRAM row-buffer hit rate"),
+    ]
 }
 
 /// One simulated machine.
@@ -127,6 +215,12 @@ pub struct Simulation {
     /// ran before the first event).
     faults: FaultInjector,
     probe_interval: Tick,
+    /// The interval time-series sampler (absent unless
+    /// [`Simulation::enable_interval_stats`] ran before the first event).
+    sampler: Option<IntervalSampler>,
+    /// The self-profiler (absent unless [`Simulation::enable_profiler`]
+    /// ran; the unprofiled event loop is untouched).
+    profiler: Option<Profiler>,
 }
 
 impl Simulation {
@@ -149,6 +243,8 @@ impl Simulation {
             tracer: Tracer::disabled(),
             faults: FaultInjector::disabled(),
             probe_interval: tick::us(10),
+            sampler: None,
+            profiler: None,
         }
     }
 
@@ -176,6 +272,8 @@ impl Simulation {
             tracer: Tracer::disabled(),
             faults: FaultInjector::disabled(),
             probe_interval: tick::us(10),
+            sampler: None,
+            profiler: None,
         }
     }
 
@@ -227,6 +325,59 @@ impl Simulation {
     /// Sets the period of the stat-sampling probe rows (default 10 µs).
     pub fn set_probe_interval(&mut self, interval: Tick) {
         self.probe_interval = interval.max(1);
+    }
+
+    /// Enables the interval time-series sampler with the given period.
+    /// The test node's counters and queue gauges are snapshotted every
+    /// `interval` ticks into a [`TimeSeries`] (see
+    /// [`Simulation::take_timeseries`]). Without this call no sampling
+    /// event is ever scheduled — the run is byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation already started.
+    pub fn enable_interval_stats(&mut self, interval: Tick) {
+        assert!(
+            !self.started,
+            "enable_interval_stats must precede the first run"
+        );
+        self.sampler = Some(IntervalSampler::new(interval.max(1)));
+    }
+
+    /// Pushes one final partial-interval row so the delta columns cover
+    /// the whole run. Call after the last [`Simulation::run_until`]; a
+    /// no-op when sampling is off or the last row already lands on `now`.
+    pub fn finalize_interval_stats(&mut self) {
+        let now = self.now();
+        if self
+            .sampler
+            .as_ref()
+            .is_some_and(|s| s.last_sample != Some(now))
+        {
+            self.sample_row(now);
+        }
+    }
+
+    /// Detaches and returns the sampled time series, if sampling was on.
+    pub fn take_timeseries(&mut self) -> Option<TimeSeries> {
+        self.sampler.take().map(|s| s.series)
+    }
+
+    /// Enables the self-profiler: per-event-kind host-time and event
+    /// counts, attributed inside the event loop. Without this call the
+    /// event loop takes no timestamps at all.
+    pub fn enable_profiler(&mut self) {
+        self.profiler = Some(Profiler::new(PROFILE_KINDS.to_vec()));
+    }
+
+    /// The accumulated profile, if profiling is on.
+    pub fn profile(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Detaches and returns the accumulated profile, if profiling was on.
+    pub fn take_profile(&mut self) -> Option<Profiler> {
+        self.profiler.take()
     }
 
     /// The tracer handle (disabled unless [`Simulation::enable_trace`] ran).
@@ -287,32 +438,63 @@ impl Simulation {
             self.queue
                 .schedule_with_priority(self.probe_interval, Priority::MAXIMUM, Ev::Probe);
         }
+        if let Some(sampler) = &self.sampler {
+            self.queue
+                .schedule_with_priority(sampler.interval, Priority::MAXIMUM, Ev::Sample);
+        }
+    }
+
+    fn dispatch(&mut self, now: Tick, payload: Ev) {
+        match payload {
+            Ev::LoadGenTx => self.handle_loadgen_tx(now),
+            Ev::NicRx { node, packet } => self.handle_nic_rx(now, node, packet),
+            Ev::LoadGenRx { packet } => self.handle_loadgen_rx(now, packet),
+            Ev::RxDma { node } => self.handle_rx_dma(now, node),
+            Ev::TxDma { node } => self.handle_tx_dma(now, node),
+            Ev::TxWire { node } => self.handle_tx_wire(now, node),
+            Ev::Software { node } => self.handle_software(now, node),
+            Ev::Probe => self.handle_probe(now),
+            Ev::Sample => self.handle_sample(now),
+        }
     }
 
     /// Runs the simulation until simulated tick `until`.
     pub fn run_until(&mut self, until: Tick) {
         self.start();
-        while let Some(event) = self.queue.pop_until(until) {
-            let now = event.tick;
-            match event.payload {
-                Ev::LoadGenTx => self.handle_loadgen_tx(now),
-                Ev::NicRx { node, packet } => self.handle_nic_rx(now, node, packet),
-                Ev::LoadGenRx { packet } => self.handle_loadgen_rx(now, packet),
-                Ev::RxDma { node } => self.handle_rx_dma(now, node),
-                Ev::TxDma { node } => self.handle_tx_dma(now, node),
-                Ev::TxWire { node } => self.handle_tx_wire(now, node),
-                Ev::Software { node } => self.handle_software(now, node),
-                Ev::Probe => self.handle_probe(now),
-            }
+        if self.profiler.is_some() {
+            self.run_until_profiled(until);
+            return;
         }
+        while let Some(event) = self.queue.pop_until(until) {
+            self.dispatch(event.tick, event.payload);
+        }
+    }
+
+    /// The profiled event loop: each `record` covers one pop plus its
+    /// dispatch, so attributed time approaches total loop time.
+    fn run_until_profiled(&mut self, until: Tick) {
+        let mut profiler = self.profiler.take().expect("checked by run_until");
+        let loop_start = std::time::Instant::now();
+        let mut mark = loop_start;
+        while let Some(event) = self.queue.pop_until(until) {
+            let kind = kind_index(&event.payload);
+            self.dispatch(event.tick, event.payload);
+            let after = std::time::Instant::now();
+            profiler.record(kind, after.duration_since(mark).as_nanos() as u64);
+            mark = after;
+        }
+        profiler.add_loop_nanos(loop_start.elapsed().as_nanos() as u64);
+        self.profiler = Some(profiler);
     }
 
     /// Resets all statistics (end of warm-up).
     pub fn reset_stats(&mut self) {
         for node in &mut self.nodes {
             node.nic.reset_stats();
+            node.nic.pci_config().stats().reset();
             node.mem.reset_stats();
             node.core.reset_stats();
+            node.stack.reset_stats();
             node.out_link.reset_stats();
         }
         if let Some(lg) = &mut self.loadgen {
@@ -322,6 +504,14 @@ impl Simulation {
             link.reset_stats();
         }
         self.faults.reset_counts();
+        // Interval rows collected during warm-up are discarded, and the
+        // delta baselines follow the counters back to zero so post-reset
+        // deltas still sum exactly to the final cumulative values.
+        if let Some(sampler) = &mut self.sampler {
+            sampler.series.clear();
+            sampler.prev = SampleBaseline::default();
+            sampler.last_sample = None;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -514,6 +704,60 @@ impl Simulation {
         }
         self.queue
             .schedule_with_priority(now + self.probe_interval, Priority::MAXIMUM, Ev::Probe);
+    }
+
+    /// Appends one time-series row for the test node.
+    fn sample_row(&mut self, now: Tick) {
+        let Some(sampler) = &mut self.sampler else {
+            return;
+        };
+        let n = &self.nodes[0];
+        let fsm = n.nic.drop_fsm();
+        let cur = SampleBaseline {
+            dma_drops: fsm.dma_drops.value(),
+            core_drops: fsm.core_drops.value(),
+            tx_drops: fsm.tx_drops.value(),
+            fault_drops: fsm.fault_drops.value(),
+            faults: self.faults.counts().total(),
+        };
+        let prev = sampler.prev;
+        let ns = n.nic.stats();
+        let llc = n.mem.llc_stats();
+        let core = n.core.stats();
+        let fifo_used = n.nic.rx_fifo_used();
+        let fifo_cap = n.nic.rx_fifo_capacity();
+        sampler.series.push_row(vec![
+            SampleValue::Float(now as f64 / 1e6),
+            SampleValue::Int(ns.rx_frames.value()),
+            SampleValue::Int(ns.tx_frames.value()),
+            SampleValue::Int(cur.dma_drops - prev.dma_drops),
+            SampleValue::Int(cur.core_drops - prev.core_drops),
+            SampleValue::Int(cur.tx_drops - prev.tx_drops),
+            SampleValue::Int(cur.fault_drops - prev.fault_drops),
+            SampleValue::Int(cur.faults - prev.faults),
+            SampleValue::Int(fifo_used),
+            SampleValue::Float(fifo_used as f64 / fifo_cap as f64),
+            SampleValue::Int(n.nic.rx_descriptors_available() as u64),
+            SampleValue::Int(n.nic.rx_visible_len() as u64),
+            SampleValue::Int(n.nic.tx_ring_used() as u64),
+            SampleValue::Float(llc.miss_rate()),
+            SampleValue::Float(core.ipc(n.core.config().frequency)),
+            SampleValue::Float(n.mem.dram_stats().row_hit_rate()),
+        ]);
+        sampler.prev = cur;
+        sampler.last_sample = Some(now);
+    }
+
+    /// Takes one interval sample and reschedules itself.
+    fn handle_sample(&mut self, now: Tick) {
+        self.sample_row(now);
+        if let Some(sampler) = &self.sampler {
+            self.queue.schedule_with_priority(
+                now + sampler.interval,
+                Priority::MAXIMUM,
+                Ev::Sample,
+            );
+        }
     }
 
     fn handle_tx_dma(&mut self, now: Tick, node: usize) {

@@ -47,6 +47,12 @@ impl RunSummary {
     pub fn achieved_rps(&self) -> f64 {
         self.report.achieved_rps
     }
+
+    /// RTT quantiles (median/p90/p95/p99, mean, extrema) measured by the
+    /// load generator over the window.
+    pub fn latency(&self) -> &simnet_sim::stats::LatencySummary {
+        &self.report.latency
+    }
 }
 
 /// Run configuration: warm-up then measurement (§VI.A: "we sufficiently

@@ -10,9 +10,17 @@
 //! Fault-injection runs use [`TraceOpts::faults`]: the injector is
 //! installed before the first event fires, so the faulted event stream is
 //! as deterministic as a clean one.
+//!
+//! [`run_observed`] generalizes the traced run to the full observability
+//! layer: packet tracing, the interval time-series sampler, and the
+//! simulator self-profiler can each be switched on independently via
+//! [`ObserveOpts`]. All observation is passive — a run with every layer
+//! enabled measures the same summary as a bare run.
 
 use simnet_sim::fault::{FaultCounts, FaultInjector};
+use simnet_sim::stats::{Profiler, TimeSeries};
 use simnet_sim::trace::{canonical_text, trace_hash, Component, TraceEvent};
+use simnet_sim::Tick;
 
 use crate::config::SystemConfig;
 use crate::msb::{AppSpec, RunConfig};
@@ -71,18 +79,51 @@ impl TracedRun {
     }
 }
 
+/// Which observability layers to attach to a [`run_observed`] point.
+#[derive(Debug, Clone, Default)]
+pub struct ObserveOpts {
+    /// Packet-lifecycle tracing: `Some((capacity, mask))` enables it.
+    pub trace: Option<(usize, u32)>,
+    /// Fault injector to install before the run starts
+    /// ([`FaultInjector::disabled`] for a clean run).
+    pub faults: FaultInjector,
+    /// Interval time-series sampling period in ticks; `None` = off.
+    pub stats_interval: Option<Tick>,
+    /// Attach the self-profiler to the event loop.
+    pub profile: bool,
+}
+
+/// An observed measurement point: the ordinary summary plus whatever
+/// observability layers [`ObserveOpts`] switched on.
+#[derive(Debug)]
+pub struct ObservedRun {
+    /// Lifecycle events in emission order (empty unless tracing was on).
+    pub events: Vec<TraceEvent>,
+    /// Events evicted from the trace ring (0 = `events` is complete).
+    pub evicted: u64,
+    /// The ordinary measurement summary (drop counters, throughput, …).
+    pub summary: RunSummary,
+    /// Per-site fault counters (all zero when no plan was installed).
+    pub fault_counts: FaultCounts,
+    /// The interval time series, when sampling was on. Rows cover the
+    /// measurement window only (warm-up rows are discarded at the stats
+    /// reset) and end with a final partial-interval row.
+    pub timeseries: Option<TimeSeries>,
+    /// The event-loop profile, when profiling was on.
+    pub profile: Option<Profiler>,
+}
+
 /// Runs one loadgen-mode measurement point exactly like
-/// [`run_point`](crate::run_point), but with tracing enabled for the
-/// components selected by `opts.mask` and `opts.faults` installed before
-/// the first simulated event.
-pub fn run_traced_with(
+/// [`run_point`](crate::run_point) with the observability layers selected
+/// by `opts` attached before the first simulated event.
+pub fn run_observed(
     cfg: &SystemConfig,
     spec: &AppSpec,
     size: usize,
     offered: f64,
     rc: RunConfig,
-    opts: TraceOpts,
-) -> TracedRun {
+    opts: ObserveOpts,
+) -> ObservedRun {
     let offered = match (cfg.client_pps_cap, spec.uses_rps()) {
         (Some(cap), false) => {
             let cap_gbps = cap * size as f64 * 8.0 / 1e9;
@@ -95,16 +136,62 @@ pub fn run_traced_with(
     let loadgen = spec.loadgen(cfg, size, offered);
     let mut sim = Simulation::loadgen_mode(cfg, stack, app, loadgen);
     sim.install_faults(opts.faults);
-    sim.enable_trace(opts.capacity, opts.mask);
+    if let Some((capacity, mask)) = opts.trace {
+        sim.enable_trace(capacity, mask);
+    }
+    if let Some(interval) = opts.stats_interval {
+        sim.enable_interval_stats(interval);
+    }
+    if opts.profile {
+        sim.enable_profiler();
+    }
     let summary = run_phases(&mut sim, rc.phases);
+    sim.finalize_interval_stats();
     let evicted = sim.tracer().evicted();
     let events = sim.take_trace();
     let fault_counts = sim.fault_injector().counts();
-    TracedRun {
+    let timeseries = sim.take_timeseries();
+    let profile = sim.take_profile();
+    ObservedRun {
         events,
         evicted,
         summary,
         fault_counts,
+        timeseries,
+        profile,
+    }
+}
+
+/// Runs one loadgen-mode measurement point exactly like
+/// [`run_point`](crate::run_point), but with tracing enabled for the
+/// components selected by `opts.mask` and `opts.faults` installed before
+/// the first simulated event.
+pub fn run_traced_with(
+    cfg: &SystemConfig,
+    spec: &AppSpec,
+    size: usize,
+    offered: f64,
+    rc: RunConfig,
+    opts: TraceOpts,
+) -> TracedRun {
+    let run = run_observed(
+        cfg,
+        spec,
+        size,
+        offered,
+        rc,
+        ObserveOpts {
+            trace: Some((opts.capacity, opts.mask)),
+            faults: opts.faults,
+            stats_interval: None,
+            profile: false,
+        },
+    );
+    TracedRun {
+        events: run.events,
+        evicted: run.evicted,
+        summary: run.summary,
+        fault_counts: run.fault_counts,
     }
 }
 

@@ -1,0 +1,180 @@
+//! Integration tests for the observability layer: the interval
+//! time-series sampler, the registry-generated stats dump, and the
+//! simulator self-profiler.
+
+use simnet_harness::{run_observed, run_point, AppSpec, ObserveOpts, RunConfig, SystemConfig};
+use simnet_sim::fault::{FaultInjector, FaultPlan};
+use simnet_sim::tick::us;
+use simnet_sim::trace::Component;
+
+fn observed_testpmd(offered: f64, opts: ObserveOpts) -> simnet_harness::ObservedRun {
+    let cfg = SystemConfig::gem5();
+    run_observed(
+        &cfg,
+        &AppSpec::TestPmd,
+        1518,
+        offered,
+        RunConfig::fast(),
+        opts,
+    )
+}
+
+/// The interval per-class drop deltas must sum exactly to the final
+/// drop-FSM counters — including the fault class and the injected-fault
+/// totals of a faulted run — because the sampler's baselines reset with
+/// the counters at the end of warm-up and a final partial row closes the
+/// window.
+#[test]
+fn interval_drop_deltas_sum_exactly_to_final_counters() {
+    let plan = FaultPlan::parse("link.ber=2e-5").unwrap();
+    let run = observed_testpmd(
+        60.0,
+        ObserveOpts {
+            faults: FaultInjector::new(plan, 7),
+            stats_interval: Some(us(100)),
+            ..Default::default()
+        },
+    );
+    let ts = run.timeseries.expect("sampling was on");
+    assert!(!ts.is_empty(), "the window produced interval rows");
+
+    let sum = |col: &str| ts.int_column(col).iter().sum::<u64>();
+    let (dma, core, tx) = run.summary.drop_counts;
+    assert_eq!(sum("drop_dma"), dma, "dma drop deltas");
+    assert_eq!(sum("drop_core"), core, "core drop deltas");
+    assert_eq!(sum("drop_tx"), tx, "tx drop deltas");
+    assert_eq!(
+        sum("drop_fault"),
+        run.summary.fault_drops,
+        "fault drop deltas"
+    );
+    assert_eq!(
+        sum("faults"),
+        run.fault_counts.total(),
+        "injected-fault deltas vs system.fault totals"
+    );
+    assert!(
+        run.summary.fault_drops > 0,
+        "the BER plan should corrupt at least one frame in-window"
+    );
+}
+
+/// Overload onset is visible in the gauges: the RX FIFO occupancy rises
+/// before the first interval that records a DMA-behind drop (the Fig. 4
+/// congestion story, now as a time series).
+#[test]
+fn fifo_gauge_rises_before_the_first_dma_drop_interval() {
+    let run = observed_testpmd(
+        60.0,
+        ObserveOpts {
+            stats_interval: Some(us(100)),
+            ..Default::default()
+        },
+    );
+    let ts = run.timeseries.expect("sampling was on");
+    let drop_dma = ts.int_column("drop_dma");
+    let fifo_frac = ts.float_column("fifo_frac");
+    let onset = drop_dma
+        .iter()
+        .position(|&d| d > 0)
+        .expect("60 Gbps of 1518B must overload the DMA path");
+    assert!(
+        onset > 0,
+        "drops should not start in the very first interval"
+    );
+    let peak_before = fifo_frac[..onset].iter().copied().fold(0.0f64, f64::max);
+    assert!(
+        peak_before > 0.5,
+        "FIFO should fill ahead of the first dma-drop interval; peaked at {peak_before:.2}"
+    );
+}
+
+/// The profiler attributes (nearly) all loop wall-clock to event kinds.
+#[test]
+fn profiler_attributes_most_of_the_loop_time() {
+    let run = observed_testpmd(
+        40.0,
+        ObserveOpts {
+            profile: true,
+            ..Default::default()
+        },
+    );
+    let profile = run.profile.expect("profiling was on");
+    assert!(profile.events() > 1_000, "a real run executes many events");
+    assert!(
+        profile.coverage() >= 0.95,
+        "attributed share {:.3} below 95%",
+        profile.coverage()
+    );
+    let render = profile.render();
+    assert!(render.contains("software"), "kind table present:\n{render}");
+    assert!(render.contains("per-component shares"));
+}
+
+/// Observation is passive: a run with every layer attached measures the
+/// same summary as a bare run of the same point.
+#[test]
+fn observed_run_matches_the_bare_run() {
+    let cfg = SystemConfig::gem5();
+    let bare = run_point(&cfg, &AppSpec::TestPmd, 1518, 60.0, RunConfig::fast());
+    let observed = observed_testpmd(
+        60.0,
+        ObserveOpts {
+            trace: Some((1 << 20, Component::ALL_MASK)),
+            stats_interval: Some(us(100)),
+            profile: true,
+            ..Default::default()
+        },
+    );
+    assert_eq!(observed.summary.drop_counts, bare.drop_counts);
+    assert_eq!(observed.summary.report.tx_packets, bare.report.tx_packets);
+    assert_eq!(observed.summary.report.rx_packets, bare.report.rx_packets);
+    assert_eq!(
+        observed.summary.report.latency.count,
+        bare.report.latency.count
+    );
+    assert!(
+        observed.summary.events >= bare.events,
+        "sampling adds events"
+    );
+}
+
+/// The time series serializes to both ndjson and CSV with the documented
+/// column schema.
+#[test]
+fn timeseries_serializations_carry_the_schema() {
+    let run = observed_testpmd(
+        40.0,
+        ObserveOpts {
+            stats_interval: Some(us(200)),
+            ..Default::default()
+        },
+    );
+    let ts = run.timeseries.expect("sampling was on");
+    let ndjson = ts.to_ndjson();
+    let first = ndjson.lines().next().expect("at least one row");
+    for col in [
+        "t_us",
+        "rx_frames",
+        "drop_dma",
+        "drop_fault",
+        "fifo_used",
+        "fifo_frac",
+        "ring_free",
+        "rx_visible",
+        "tx_used",
+        "llc_miss_rate",
+        "ipc",
+        "row_hit_rate",
+    ] {
+        assert!(first.contains(&format!("\"{col}\":")), "{col} in ndjson");
+    }
+    let csv = ts.to_csv();
+    let header = csv.lines().next().expect("csv header");
+    assert!(header.starts_with("t_us,rx_frames,tx_frames,drop_dma"));
+    assert_eq!(
+        csv.lines().count(),
+        ts.len() + 1,
+        "header + one line per row"
+    );
+}

@@ -245,6 +245,31 @@ impl EtherLoadGen {
         )
     }
 
+    /// Registers the `loadgen.*` statistics section. `now` bounds the
+    /// measurement window for the rate/drop computation.
+    pub fn register_stats(&self, now: Tick, reg: &mut simnet_sim::stats::StatsRegistry) {
+        let report = self.report(0, now);
+        let summary = &report.latency;
+        reg.scoped("loadgen", |reg| {
+            reg.scalar("txPackets", report.tx_packets, "packets injected");
+            reg.scalar("rxPackets", report.rx_packets, "packets echoed back");
+            reg.float("rtt.mean_ns", summary.mean / 1e3, "mean round-trip (ns)");
+            reg.float("rtt.p99_ns", summary.p99 / 1e3, "p99 round-trip (ns)");
+            if reg.full() {
+                reg.scalar("txBytes", report.tx_bytes, "bytes injected");
+                reg.scalar("rxBytes", report.rx_bytes, "bytes echoed back");
+                reg.scalar("rtt.samples", summary.count, "RTT samples recorded");
+                reg.float(
+                    "rtt.median_ns",
+                    summary.median / 1e3,
+                    "median round-trip (ns)",
+                );
+                reg.float("rtt.p90_ns", summary.p90 / 1e3, "p90 round-trip (ns)");
+                reg.float("dropRate", report.drop_rate, "unreturned / injected");
+            }
+        });
+    }
+
     /// Clears statistics (post-warm-up reset); generation state persists.
     pub fn reset_stats(&mut self) {
         self.tx_packets.reset();
@@ -379,6 +404,30 @@ mod tests {
             times
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn register_stats_reports_packets_and_rtt() {
+        use simnet_sim::stats::{DumpLevel, StatValue, StatsRegistry};
+
+        let mut lg = synthetic_gen(10.0, 256);
+        let pkt = lg.take_packet(1_000_000).unwrap();
+        lg.on_rx(6_000_000, &pkt); // 5 µs RTT
+
+        let mut reg = StatsRegistry::new();
+        lg.register_stats(10_000_000, &mut reg);
+        assert_eq!(reg.get("loadgen.txPackets"), Some(&StatValue::Scalar(1)));
+        assert_eq!(reg.get("loadgen.rxPackets"), Some(&StatValue::Scalar(1)));
+        assert_eq!(
+            reg.get("loadgen.rtt.mean_ns"),
+            Some(&StatValue::Float(5_000.0))
+        );
+        assert!(reg.get("loadgen.dropRate").is_none(), "full-only stat");
+
+        let mut full = StatsRegistry::with_level(DumpLevel::Full);
+        lg.register_stats(10_000_000, &mut full);
+        assert_eq!(reg.get("loadgen.txPackets"), Some(&StatValue::Scalar(1)));
+        assert_eq!(full.get("loadgen.dropRate"), Some(&StatValue::Float(0.0)));
     }
 
     #[test]

@@ -129,6 +129,18 @@ impl Bus {
         }
     }
 
+    /// Registers this bus's statistics under the caller's current group
+    /// (`now` prices the utilization fraction).
+    pub fn register_stats(&self, now: Tick, reg: &mut simnet_sim::stats::StatsRegistry) {
+        reg.scalar(
+            "transactions",
+            self.transactions.value(),
+            "bus transactions",
+        );
+        reg.scalar("bytes", self.bytes.value(), "payload bytes");
+        reg.float("utilization", self.utilization(now), "busy fraction");
+    }
+
     /// Clears statistics and the busy horizon (post-warm-up reset).
     pub fn reset_stats(&mut self) {
         self.transactions.reset();

@@ -57,6 +57,44 @@ impl CacheStats {
         }
     }
 
+    /// Registers this cache's statistics under the caller's current group
+    /// (the caller pushes `system.cpu.dcache`, `system.llc`, …).
+    pub fn register_stats(&self, reg: &mut simnet_sim::stats::StatsRegistry) {
+        reg.scalar(
+            "overall_hits",
+            self.core_hits.value() + self.dma_hits.value(),
+            "hits (all classes)",
+        );
+        reg.scalar(
+            "overall_misses",
+            self.core_misses.value() + self.dma_misses.value(),
+            "misses (all classes)",
+        );
+        reg.float("overall_miss_rate", self.miss_rate(), "miss rate");
+        reg.scalar("writebacks", self.writebacks.value(), "dirty evictions");
+        if reg.full() {
+            reg.scalar("core_hits", self.core_hits.value(), "core-path hits");
+            reg.scalar("core_misses", self.core_misses.value(), "core-path misses");
+            reg.scalar("dma_hits", self.dma_hits.value(), "DMA-path hits");
+            reg.scalar("dma_misses", self.dma_misses.value(), "DMA-path misses");
+            reg.float(
+                "core_miss_rate",
+                self.core_miss_rate(),
+                "core-path miss rate",
+            );
+            reg.scalar(
+                "evictions",
+                self.evictions.value(),
+                "lines displaced by fills",
+            );
+            reg.scalar(
+                "invalidations",
+                self.invalidations.value(),
+                "lines removed by coherence invalidations",
+            );
+        }
+    }
+
     /// Core-path miss rate (0.0 when idle) — the "LLC Miss Rate" series of
     /// Fig. 13 is the core-path miss rate of the LLC.
     pub fn core_miss_rate(&self) -> f64 {

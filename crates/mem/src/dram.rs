@@ -102,6 +102,24 @@ pub struct DramStats {
 }
 
 impl DramStats {
+    /// Registers the `system.mem_ctrls.*` statistics section.
+    pub fn register_stats(&self, reg: &mut simnet_sim::stats::StatsRegistry) {
+        reg.scoped("system.mem_ctrls", |reg| {
+            reg.scalar("num_reads", self.reads.value(), "DRAM read accesses");
+            reg.scalar("num_writes", self.writes.value(), "DRAM write accesses");
+            reg.scalar("bytes", self.bytes.value(), "DRAM bytes transferred");
+            reg.float("row_hit_rate", self.row_hit_rate(), "row-buffer hit rate");
+            if reg.full() {
+                reg.scalar("row_hits", self.row_hits.value(), "row-buffer hits");
+                reg.scalar(
+                    "row_misses",
+                    self.row_misses.value(),
+                    "row-buffer misses (activations)",
+                );
+            }
+        });
+    }
+
     /// Row-buffer hit rate (0.0 when idle).
     pub fn row_hit_rate(&self) -> f64 {
         let total = self.row_hits.value() + self.row_misses.value();

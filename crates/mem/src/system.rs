@@ -264,6 +264,27 @@ impl MemorySystem {
         &self.io_tx
     }
 
+    /// Registers the whole hierarchy's statistics: the three legacy cache
+    /// groups (`system.cpu.dcache`, `system.cpu.l2cache`, `system.llc`),
+    /// `system.mem_ctrls` and both `system.iobus` directions. `now` prices
+    /// the bus utilization fractions.
+    pub fn register_stats(&self, now: Tick, reg: &mut simnet_sim::stats::StatsRegistry) {
+        for (name, stats) in [
+            ("system.cpu.dcache", self.l1d.stats()),
+            ("system.cpu.l2cache", self.l2.stats()),
+            ("system.llc", self.llc.stats()),
+        ] {
+            reg.scoped(name, |reg| stats.register_stats(reg));
+        }
+        self.dram.stats().register_stats(reg);
+        for (name, bus) in [
+            ("system.iobus.rx", &self.io_rx),
+            ("system.iobus.tx", &self.io_tx),
+        ] {
+            reg.scoped(name, |reg| bus.register_stats(now, reg));
+        }
+    }
+
     /// Verifies the inclusive-hierarchy invariant: every valid L1I/L1D
     /// line is resident in L2, and every valid L2 line is resident in the
     /// LLC (diagnostic; used by property tests).
@@ -743,6 +764,26 @@ mod tests {
         let (_, b) = mem.core_read(0, 0x9000_0000 + 64, 4);
         assert_eq!(a, HitLevel::L1);
         assert_eq!(b, HitLevel::L1);
+    }
+
+    #[test]
+    fn register_stats_covers_the_legacy_groups() {
+        use simnet_sim::stats::StatsRegistry;
+        let mut mem = system();
+        mem.core_read(0, 0xA100_0000, 8);
+        mem.dma_write(0, layout::mbuf_addr(7), 256);
+        let mut reg = StatsRegistry::new();
+        mem.register_stats(1_000_000, &mut reg);
+        for path in [
+            "system.cpu.dcache.overall_misses",
+            "system.cpu.l2cache.overall_miss_rate",
+            "system.llc.writebacks",
+            "system.mem_ctrls.row_hit_rate",
+            "system.iobus.rx.utilization",
+            "system.iobus.tx.bytes",
+        ] {
+            assert!(reg.get(path).is_some(), "missing {path}");
+        }
     }
 
     #[test]

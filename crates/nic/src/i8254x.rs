@@ -208,6 +208,11 @@ impl Nic {
         self.rx_fifo.used()
     }
 
+    /// Diagnostic: RX FIFO capacity in bytes.
+    pub fn rx_fifo_capacity(&self) -> u64 {
+        self.rx_fifo.capacity()
+    }
+
     /// Diagnostic: occupied TX ring slots (as last settled).
     pub fn tx_ring_used(&self) -> usize {
         self.tx_occupancy
@@ -222,6 +227,90 @@ impl Nic {
     pub fn reset_stats(&mut self) {
         self.fsm.reset_stats();
         self.stats = NicStats::default();
+    }
+
+    /// Registers the `system.nic.*` statistics section (device counters
+    /// plus the Fig. 4 drop-classification counters).
+    pub fn register_stats(&self, reg: &mut simnet_sim::stats::StatsRegistry) {
+        let s = &self.stats;
+        let fsm = &self.fsm;
+        reg.scoped("system.nic", |reg| {
+            reg.scalar(
+                "rxPackets",
+                s.rx_frames.value(),
+                "frames accepted from the wire",
+            );
+            reg.scalar(
+                "rxBytes",
+                s.rx_bytes.value(),
+                "bytes accepted from the wire",
+            );
+            reg.scalar(
+                "txPackets",
+                s.tx_frames.value(),
+                "frames handed to the wire",
+            );
+            reg.scalar("txBytes", s.tx_bytes.value(), "bytes handed to the wire");
+            reg.scalar(
+                "descWritebacks",
+                s.desc_writebacks.value(),
+                "descriptor writeback DMAs",
+            );
+            reg.scalar(
+                "descRefills",
+                s.desc_refills.value(),
+                "descriptor cache refills",
+            );
+            reg.scalar(
+                "dmaDrops",
+                fsm.dma_drops.value(),
+                "drops: DMA engine behind (Fig. 4)",
+            );
+            reg.scalar(
+                "coreDrops",
+                fsm.core_drops.value(),
+                "drops: core behind (Fig. 4)",
+            );
+            reg.scalar(
+                "txDrops",
+                fsm.tx_drops.value(),
+                "drops: TX backpressure (Fig. 4)",
+            );
+            reg.float("dropRate", fsm.drop_rate(), "dropped / observed");
+            if reg.full() {
+                reg.scalar(
+                    "rxIdleFifoEmpty",
+                    s.rx_idle_fifo_empty.value(),
+                    "RX engine idle: FIFO empty",
+                );
+                reg.scalar(
+                    "rxIdleNoDesc",
+                    s.rx_idle_no_desc.value(),
+                    "RX engine idle: no descriptors",
+                );
+                reg.scalar(
+                    "rx_fifo_occupancy",
+                    self.rx_fifo.used(),
+                    "RX FIFO bytes in use at dump time",
+                );
+                reg.scalar(
+                    "rx_fifo_peak",
+                    self.rx_fifo.high_watermark(),
+                    "highest RX FIFO byte occupancy observed",
+                );
+            }
+        });
+    }
+
+    /// Registers `system.nic.faultDrops` — kept out of
+    /// [`Nic::register_stats`] because the legacy dump places it inside
+    /// the conditional fault section.
+    pub fn register_fault_stats(&self, reg: &mut simnet_sim::stats::StatsRegistry) {
+        reg.scalar(
+            "system.nic.faultDrops",
+            self.fsm.fault_drops.value(),
+            "drops caused by injected faults",
+        );
     }
 
     fn settle(&mut self, now: Tick) {

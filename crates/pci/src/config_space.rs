@@ -1,5 +1,7 @@
 //! The 256-byte PCI configuration space with width-aware access semantics.
 
+use std::cell::Cell;
+
 use simnet_sim::fault::{FaultInjector, FaultKind};
 use simnet_sim::trace::{Component, Stage, Tracer, NO_PACKET};
 use simnet_sim::Tick;
@@ -33,6 +35,44 @@ pub enum CompatMode {
     Extended,
 }
 
+/// Config-space access counters. `Cell`-based because the read path takes
+/// `&self` (the config space is `Clone` and widely shared by value).
+#[derive(Debug, Clone, Default)]
+pub struct PciStats {
+    /// Config-space reads served.
+    pub reads: Cell<u64>,
+    /// Config-space writes applied.
+    pub writes: Cell<u64>,
+    /// Timed reads that paid an injected stall.
+    pub stalled_reads: Cell<u64>,
+}
+
+impl PciStats {
+    /// Registers the `system.pci.*` statistics section (Full-level only:
+    /// the legacy dump had no PCI counters).
+    pub fn register_stats(&self, reg: &mut simnet_sim::stats::StatsRegistry) {
+        if !reg.full() {
+            return;
+        }
+        reg.scoped("system.pci", |reg| {
+            reg.scalar("configReads", self.reads.get(), "config-space reads");
+            reg.scalar("configWrites", self.writes.get(), "config-space writes");
+            reg.scalar(
+                "stalledReads",
+                self.stalled_reads.get(),
+                "config reads delayed by an injected stall",
+            );
+        });
+    }
+
+    /// Clears the counters (post-warm-up reset).
+    pub fn reset(&self) {
+        self.reads.set(0);
+        self.writes.set(0);
+        self.stalled_reads.set(0);
+    }
+}
+
 /// A device's PCI configuration space.
 ///
 /// ```
@@ -49,6 +89,7 @@ pub struct ConfigSpace {
     mode: CompatMode,
     faults: FaultInjector,
     tracer: Tracer,
+    stats: PciStats,
 }
 
 impl ConfigSpace {
@@ -62,7 +103,13 @@ impl ConfigSpace {
             mode,
             faults: FaultInjector::disabled(),
             tracer: Tracer::disabled(),
+            stats: PciStats::default(),
         }
+    }
+
+    /// Access counters.
+    pub fn stats(&self) -> &PciStats {
+        &self.stats
     }
 
     /// Attaches a fault injector (see `simnet_sim::fault`).
@@ -132,6 +179,7 @@ impl ConfigSpace {
     pub fn read_config(&self, offset: usize, width: usize) -> u32 {
         assert!(matches!(width, 1 | 2 | 4), "width must be 1, 2 or 4");
         assert!(offset + width <= 256, "access beyond config space");
+        self.stats.reads.set(self.stats.reads.get() + 1);
 
         if self.mode == CompatMode::Baseline
             && width == 1
@@ -175,6 +223,9 @@ impl ConfigSpace {
         }
         let stall = self.faults.pci_stall();
         if stall > 0 {
+            self.stats
+                .stalled_reads
+                .set(self.stats.stalled_reads.get() + 1);
             self.tracer.emit(
                 now,
                 NO_PACKET,
@@ -202,6 +253,7 @@ impl ConfigSpace {
     pub fn write_config(&mut self, offset: usize, width: usize, value: u32) {
         assert!(matches!(width, 1 | 2 | 4), "width must be 1, 2 or 4");
         assert!(offset + width <= 256, "access beyond config space");
+        self.stats.writes.set(self.stats.writes.get() + 1);
 
         for i in 0..width {
             let byte_off = offset + i;
@@ -363,6 +415,35 @@ mod tests {
         let (ids, _) = cs.read_config_timed(0, 0x00, 4);
         assert_eq!(ids, 0x100e_8086);
         assert_eq!(inj.counts().master_clear_blocks, 2);
+    }
+
+    #[test]
+    fn access_counters_track_reads_writes_and_stalls() {
+        use simnet_sim::fault::{FaultInjector, FaultPlan};
+        use simnet_sim::stats::{DumpLevel, StatValue, StatsRegistry};
+        let mut cs = extended();
+        cs.set_fault_injector(FaultInjector::new(
+            FaultPlan::parse("pci.stall=200ns@100%").unwrap(),
+            1,
+        ));
+        cs.read_config(0x00, 4);
+        cs.write_config(OFF_COMMAND, 2, 0x0007);
+        let _ = cs.read_config_timed(0, 0x00, 4);
+        assert_eq!(cs.stats().reads.get(), 2);
+        assert_eq!(cs.stats().writes.get(), 1);
+        assert_eq!(cs.stats().stalled_reads.get(), 1);
+        // Compat-level dumps omit the (post-migration) PCI section.
+        let mut compat = StatsRegistry::new();
+        cs.stats().register_stats(&mut compat);
+        assert!(compat.is_empty());
+        let mut full = StatsRegistry::with_level(DumpLevel::Full);
+        cs.stats().register_stats(&mut full);
+        assert_eq!(
+            full.get("system.pci.configReads"),
+            Some(&StatValue::Scalar(2))
+        );
+        cs.stats().reset();
+        assert_eq!(cs.stats().reads.get(), 0);
     }
 
     #[test]

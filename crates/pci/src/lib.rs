@@ -24,6 +24,6 @@ pub mod devbind;
 pub mod uio;
 
 pub use command::Command;
-pub use config_space::{CompatMode, ConfigSpace};
+pub use config_space::{CompatMode, ConfigSpace, PciStats};
 pub use devbind::{Bdf, DevBind};
 pub use uio::{BindError, UioPciGeneric};

@@ -455,6 +455,59 @@ impl FaultInjector {
         }
     }
 
+    /// Registers the `system.fault.*` statistics section.
+    ///
+    /// No-op when disabled, mirroring the conditional fault section of the
+    /// legacy dump: a run without an installed plan has no fault stats.
+    pub fn register_stats(&self, reg: &mut crate::stats::StatsRegistry) {
+        let Some(shared) = &self.shared else {
+            return;
+        };
+        let s = shared.borrow();
+        let fc = s.counts;
+        reg.scoped("system.fault", |reg| {
+            reg.text("plan", &s.plan, "installed fault plan");
+            reg.scalar("seed", s.seed, "fault RNG seed");
+            reg.scalar(
+                "linkBitErrors",
+                fc.link_bit_errors,
+                "frames corrupted on the wire (FCS fail)",
+            );
+            reg.scalar(
+                "fifoStuckHits",
+                fc.fifo_stuck_hits,
+                "RX receptions inside a stuck-full FIFO window",
+            );
+            reg.scalar(
+                "wbDelays",
+                fc.wb_delays,
+                "delayed descriptor writeback batches",
+            );
+            reg.scalar(
+                "wbCorrupts",
+                fc.wb_corrupts,
+                "corrupted descriptor writebacks (frame lost)",
+            );
+            reg.scalar("pciStalls", fc.pci_stalls, "stalled PCI config reads");
+            reg.scalar(
+                "masterClearBlocks",
+                fc.master_clear_blocks,
+                "DMA attempts blocked by master-enable clear",
+            );
+            reg.scalar(
+                "dmaBursts",
+                fc.dma_bursts,
+                "DMA accesses hit by a latency burst",
+            );
+            reg.scalar(
+                "dcaForcedMisses",
+                fc.dca_forced_misses,
+                "DCA placements forced to miss the LLC",
+            );
+            reg.scalar("total", fc.total(), "injected faults (all sites)");
+        });
+    }
+
     /// Whether a `frame_bits`-bit frame fails FCS under the plan's
     /// bit-error rate.
     #[inline]
@@ -727,6 +780,22 @@ mod tests {
         assert_eq!(counts.total(), 2);
         inj.reset_counts();
         assert_eq!(inj.counts().total(), 0);
+    }
+
+    #[test]
+    fn register_stats_is_conditional_on_a_plan() {
+        use crate::stats::{StatValue, StatsRegistry};
+        let mut reg = StatsRegistry::new();
+        FaultInjector::disabled().register_stats(&mut reg);
+        assert!(reg.is_empty(), "disabled injector registers nothing");
+        let inj = FaultInjector::new(FaultPlan::parse("link.ber=1e-4").unwrap(), 7);
+        inj.register_stats(&mut reg);
+        assert_eq!(reg.get("system.fault.seed"), Some(&StatValue::Scalar(7)));
+        assert_eq!(reg.get("system.fault.total"), Some(&StatValue::Scalar(0)));
+        assert_eq!(
+            reg.get("system.fault.plan"),
+            Some(&StatValue::Text("link.ber=1e-4".into()))
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub struct Histogram {
     bins: Vec<u64>,
     underflow: u64,
     overflow: u64,
+    rejected: u64,
 }
 
 impl Histogram {
@@ -41,12 +42,20 @@ impl Histogram {
             bins: vec![0; bins],
             underflow: 0,
             overflow: 0,
+            rejected: 0,
         }
     }
 
     /// Records one value.
+    ///
+    /// NaN values are rejected (counted in [`Histogram::rejected`]) rather
+    /// than binned: the `(value - lo) / width as usize` cast would
+    /// otherwise silently place NaN in bin 0. ±∞ land in the
+    /// under/overflow buckets like any other out-of-range value.
     pub fn record(&mut self, value: f64) {
-        if value < self.lo {
+        if value.is_nan() {
+            self.rejected += 1;
+        } else if value < self.lo {
             self.underflow += 1;
         } else if value >= self.hi {
             self.overflow += 1;
@@ -89,6 +98,12 @@ impl Histogram {
         self.overflow
     }
 
+    /// NaN values rejected by [`Histogram::record`] (not part of
+    /// [`Histogram::total`]).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
     /// Total recorded values including under/overflow.
     pub fn total(&self) -> u64 {
         self.bins.iter().sum::<u64>() + self.underflow + self.overflow
@@ -99,6 +114,7 @@ impl Histogram {
         self.bins.iter_mut().for_each(|b| *b = 0);
         self.underflow = 0;
         self.overflow = 0;
+        self.rejected = 0;
     }
 
     /// Iterates `(bin_lo, bin_hi, count)` over the in-range bins.
@@ -180,6 +196,40 @@ mod tests {
     #[should_panic(expected = "inverted")]
     fn rejects_bad_bounds() {
         Histogram::new(1.0, 1.0, 3);
+    }
+
+    #[test]
+    fn nan_is_rejected_not_binned() {
+        let mut h = Histogram::new(0.0, 10.0, 4);
+        h.record(f64::NAN);
+        h.record(-f64::NAN);
+        // Without the guard both NaNs would silently land in bin 0.
+        assert_eq!(h.bin_count(0), 0);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.rejected(), 2);
+        // Real samples still work after the bad ones.
+        h.record(1.0);
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn infinities_land_in_flow_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 4);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.rejected(), 0);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn reset_clears_rejected() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(f64::NAN);
+        h.reset();
+        assert_eq!(h.rejected(), 0);
     }
 
     #[test]

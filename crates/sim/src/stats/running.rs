@@ -23,6 +23,7 @@ pub struct Running {
     m2: f64,
     min: f64,
     max: f64,
+    rejected: u64,
 }
 
 impl Running {
@@ -32,7 +33,16 @@ impl Running {
     }
 
     /// Records one observation.
+    ///
+    /// Non-finite observations (NaN, ±∞) are rejected: a single NaN would
+    /// otherwise poison the mean/min/max for the rest of the run, and an
+    /// infinity would pin the mean. Rejections are counted in
+    /// [`Running::rejected`].
     pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            self.rejected += 1;
+            return;
+        }
         if self.count == 0 {
             self.min = value;
             self.max = value;
@@ -49,6 +59,11 @@ impl Running {
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Non-finite observations rejected by [`Running::record`].
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// Arithmetic mean (0.0 if empty).
@@ -96,11 +111,14 @@ impl Running {
 
     /// Merges another accumulator into this one (parallel sweep reduction).
     pub fn merge(&mut self, other: &Running) {
+        self.rejected += other.rejected;
         if other.count == 0 {
             return;
         }
         if self.count == 0 {
+            let rejected = self.rejected;
             *self = *other;
+            self.rejected = rejected;
             return;
         }
         let total = self.count + other.count;
@@ -190,6 +208,42 @@ mod tests {
         let mut e = Running::new();
         e.merge(&before);
         assert_eq!(e, before);
+    }
+
+    #[test]
+    fn non_finite_cannot_poison_the_mean() {
+        let mut r = Running::new();
+        r.record(1.0);
+        r.record(f64::NAN);
+        r.record(f64::INFINITY);
+        r.record(f64::NEG_INFINITY);
+        r.record(3.0);
+        assert_eq!(r.count(), 2);
+        assert_eq!(r.rejected(), 3);
+        assert!((r.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(r.min(), Some(1.0));
+        assert_eq!(r.max(), Some(3.0));
+        assert!(r.stddev().is_finite());
+    }
+
+    #[test]
+    fn merge_carries_rejections_both_ways() {
+        let mut a = Running::new();
+        a.record(f64::NAN); // a is empty but has a rejection
+        let mut b = Running::new();
+        b.record(2.0);
+        b.record(f64::INFINITY);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.rejected(), 2);
+        assert!((a.mean() - 2.0).abs() < 1e-12);
+
+        let mut c = Running::new();
+        c.record(4.0);
+        c.merge(&a);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.rejected(), 2);
+        assert!((c.mean() - 3.0).abs() < 1e-12);
     }
 
     #[test]

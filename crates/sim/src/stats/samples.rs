@@ -28,6 +28,7 @@ pub struct SampleSet {
     sum_sq: f64,
     min: f64,
     max: f64,
+    rejected: u64,
 }
 
 /// Summary of a [`SampleSet`]: the statistics row `EtherLoadGen` prints.
@@ -92,11 +93,20 @@ impl SampleSet {
             sum_sq: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            rejected: 0,
         }
     }
 
     /// Records one observation.
+    ///
+    /// Non-finite observations are rejected (counted in
+    /// [`SampleSet::rejected`]): a NaN in the store would panic the
+    /// quantile sort, and an infinity would pin mean/min/max.
     pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            self.rejected += 1;
+            return;
+        }
         self.seen += 1;
         self.sum += value;
         self.sum_sq += value * value;
@@ -121,6 +131,11 @@ impl SampleSet {
     /// Total observations recorded (not just retained).
     pub fn count(&self) -> u64 {
         self.seen
+    }
+
+    /// Non-finite observations rejected by [`SampleSet::record`].
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// Whether no observations were recorded.
@@ -292,5 +307,20 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_zero_capacity() {
         SampleSet::with_capacity(0);
+    }
+
+    #[test]
+    fn non_finite_samples_cannot_panic_quantiles() {
+        let mut s = SampleSet::with_capacity(8);
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        s.record(2.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.rejected(), 2);
+        // The sort inside summary() would panic if NaN had been stored.
+        let sum = s.summary();
+        assert_eq!(sum.median, 2.0);
+        assert_eq!(sum.max, 2.0);
+        assert!(sum.mean.is_finite());
     }
 }

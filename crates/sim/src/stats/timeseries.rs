@@ -1,0 +1,306 @@
+//! Interval time-series storage and serialization.
+//!
+//! The interval sampler (a periodic simulation event) snapshots a fixed
+//! column schema every N simulated microseconds and appends one
+//! [`TimeSeries`] row. Rows serialize to ndjson (one JSON object per
+//! line — easy to stream into pandas/jq) or CSV, so drop-onset dynamics
+//! like Fig. 4's FIFO-fill → writeback-stall → drop-burst sequence become
+//! plottable over simulated time instead of a single end-of-run number.
+//!
+//! Column values are typed ([`SampleValue::Int`] for exact counters whose
+//! interval deltas must sum exactly, [`SampleValue::Float`] for derived
+//! rates); non-finite floats serialize as `null`/empty so a bad sample can
+//! never corrupt the artifact.
+
+use std::fmt::Write as _;
+
+/// Whether a column holds exact integer counts or derived floats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnKind {
+    /// Exact integer counter or gauge.
+    Int,
+    /// Derived floating-point value (rate, fraction).
+    Float,
+}
+
+/// One column of the time-series schema.
+#[derive(Debug, Clone)]
+pub struct ColumnSpec {
+    /// Column name (ndjson key / CSV header).
+    pub name: &'static str,
+    /// The column's value type.
+    pub kind: ColumnKind,
+    /// One-line description (documented in EXPERIMENTS.md).
+    pub desc: &'static str,
+}
+
+impl ColumnSpec {
+    /// An integer column.
+    pub const fn int(name: &'static str, desc: &'static str) -> Self {
+        Self {
+            name,
+            kind: ColumnKind::Int,
+            desc,
+        }
+    }
+
+    /// A floating-point column.
+    pub const fn float(name: &'static str, desc: &'static str) -> Self {
+        Self {
+            name,
+            kind: ColumnKind::Float,
+            desc,
+        }
+    }
+}
+
+/// One sampled cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SampleValue {
+    /// Exact integer.
+    Int(u64),
+    /// Derived float.
+    Float(f64),
+}
+
+impl SampleValue {
+    /// The value as f64 (lossy for huge ints, fine for plotting).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            SampleValue::Int(v) => *v as f64,
+            SampleValue::Float(v) => *v,
+        }
+    }
+
+    /// The value as u64 (0 for non-finite floats, truncated otherwise).
+    pub fn as_u64(&self) -> u64 {
+        match self {
+            SampleValue::Int(v) => *v,
+            SampleValue::Float(v) if v.is_finite() && *v >= 0.0 => *v as u64,
+            SampleValue::Float(_) => 0,
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            SampleValue::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            SampleValue::Float(v) if v.is_finite() => {
+                let _ = write!(out, "{v}");
+            }
+            SampleValue::Float(_) => out.push_str("null"),
+        }
+    }
+
+    fn write_csv(&self, out: &mut String) {
+        match self {
+            SampleValue::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            SampleValue::Float(v) if v.is_finite() => {
+                let _ = write!(out, "{v}");
+            }
+            SampleValue::Float(_) => {}
+        }
+    }
+}
+
+/// An interval-sampled statistics time series: a fixed column schema plus
+/// one row per sample interval.
+///
+/// ```
+/// use simnet_sim::stats::{ColumnSpec, SampleValue, TimeSeries};
+/// let mut ts = TimeSeries::new(vec![
+///     ColumnSpec::float("t_us", "sample time"),
+///     ColumnSpec::int("drops", "drops this interval"),
+/// ]);
+/// ts.push_row(vec![SampleValue::Float(100.0), SampleValue::Int(3)]);
+/// assert_eq!(ts.len(), 1);
+/// assert_eq!(ts.int_column("drops"), vec![3]);
+/// assert!(ts.to_ndjson().contains("\"drops\":3"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    columns: Vec<ColumnSpec>,
+    rows: Vec<Vec<SampleValue>>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series over `columns`.
+    pub fn new(columns: Vec<ColumnSpec>) -> Self {
+        Self {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The column schema.
+    pub fn columns(&self) -> &[ColumnSpec] {
+        &self.columns
+    }
+
+    /// Index of the column named `name`.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the schema.
+    pub fn push_row(&mut self, row: Vec<SampleValue>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} != schema width {}",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// All rows in sample order.
+    pub fn rows(&self) -> &[Vec<SampleValue>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows were sampled.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Discards all rows (warm-up reset), keeping the schema.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+
+    /// The named column as exact integers (panics if the name is unknown).
+    pub fn int_column(&self, name: &str) -> Vec<u64> {
+        let idx = self
+            .column_index(name)
+            .unwrap_or_else(|| panic!("no column named {name:?}"));
+        self.rows.iter().map(|r| r[idx].as_u64()).collect()
+    }
+
+    /// The named column as f64 (panics if the name is unknown).
+    pub fn float_column(&self, name: &str) -> Vec<f64> {
+        let idx = self
+            .column_index(name)
+            .unwrap_or_else(|| panic!("no column named {name:?}"));
+        self.rows.iter().map(|r| r[idx].as_f64()).collect()
+    }
+
+    /// Serializes as ndjson: one `{"col":value,…}` object per line.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push('{');
+            for (i, (col, value)) in self.columns.iter().zip(row).enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":", col.name);
+                value.write_json(&mut out);
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Serializes as CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for (i, col) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(col.name);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            for (i, value) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                value.write_csv(&mut out);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_col() -> TimeSeries {
+        TimeSeries::new(vec![
+            ColumnSpec::float("t_us", "time"),
+            ColumnSpec::int("n", "count"),
+        ])
+    }
+
+    #[test]
+    fn rows_round_trip() {
+        let mut ts = two_col();
+        ts.push_row(vec![SampleValue::Float(1.5), SampleValue::Int(2)]);
+        ts.push_row(vec![SampleValue::Float(2.5), SampleValue::Int(5)]);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.int_column("n"), vec![2, 5]);
+        assert_eq!(ts.float_column("t_us"), vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn ndjson_one_object_per_line() {
+        let mut ts = two_col();
+        ts.push_row(vec![SampleValue::Float(1.5), SampleValue::Int(2)]);
+        let text = ts.to_ndjson();
+        assert_eq!(text.lines().count(), 1);
+        assert_eq!(text.trim(), "{\"t_us\":1.5,\"n\":2}");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut ts = two_col();
+        ts.push_row(vec![SampleValue::Float(1.5), SampleValue::Int(2)]);
+        let text = ts.to_csv();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("t_us,n"));
+        assert_eq!(lines.next(), Some("1.5,2"));
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_safely() {
+        let mut ts = two_col();
+        ts.push_row(vec![SampleValue::Float(f64::NAN), SampleValue::Int(1)]);
+        assert!(ts.to_ndjson().contains("\"t_us\":null"));
+        assert!(ts.to_csv().lines().nth(1).unwrap().starts_with(','));
+        assert_eq!(ts.float_column("t_us").len(), 1);
+        assert_eq!(ts.rows()[0][0].as_u64(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_schema() {
+        let mut ts = two_col();
+        ts.push_row(vec![SampleValue::Float(1.0), SampleValue::Int(1)]);
+        ts.clear();
+        assert!(ts.is_empty());
+        assert_eq!(ts.columns().len(), 2);
+        ts.push_row(vec![SampleValue::Float(2.0), SampleValue::Int(2)]);
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        two_col().push_row(vec![SampleValue::Int(1)]);
+    }
+}

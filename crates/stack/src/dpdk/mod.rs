@@ -16,7 +16,7 @@ use simnet_sim::Tick;
 
 use crate::app::{AppAction, PacketApp};
 use crate::footprint::FootprintStream;
-use crate::{Iteration, NetworkStack};
+use crate::{Iteration, NetworkStack, StackStats};
 
 /// Instruction-cost parameters of the DPDK fast path (per §II.A: no
 /// syscalls, no copies, polling).
@@ -70,6 +70,7 @@ pub struct DpdkStack {
     tx_backlog: Vec<TxRequest>,
     ops: Vec<Op>,
     tracer: Tracer,
+    stats: StackStats,
 }
 
 impl DpdkStack {
@@ -95,6 +96,7 @@ impl DpdkStack {
             tx_backlog: Vec::new(),
             ops: Vec::new(),
             tracer: Tracer::disabled(),
+            stats: StackStats::default(),
         }
     }
 
@@ -125,7 +127,32 @@ impl NetworkStack for DpdkStack {
         self.tracer = tracer;
     }
 
+    fn stats(&self) -> Option<&StackStats> {
+        Some(&self.stats)
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
     fn iteration(
+        &mut self,
+        now: Tick,
+        nic: &mut Nic,
+        core: &mut Core,
+        mem: &mut MemorySystem,
+        app: &mut dyn PacketApp,
+    ) -> Iteration {
+        let it = self.run_iteration(now, nic, core, mem, app);
+        self.stats.observe(&it);
+        it
+    }
+}
+
+impl DpdkStack {
+    /// One poll-loop pass; the trait's `iteration` wraps this with
+    /// counter bookkeeping.
+    fn run_iteration(
         &mut self,
         now: Tick,
         nic: &mut Nic,
@@ -410,6 +437,29 @@ mod tests {
         let it2 = stack.iteration(it.end, &mut nic, &mut core, &mut mem, &mut app);
         assert_eq!(it2.rx, 0);
         assert!(!it2.idle);
+    }
+
+    #[test]
+    fn iteration_counters_accumulate_and_reset() {
+        let (mut nic, mut core, mut mem, mut stack) = rig();
+        let mut app = Echo;
+        stack.iteration(0, &mut nic, &mut core, &mut mem, &mut app);
+        let ready = deliver(&mut nic, &mut mem, 4);
+        stack.iteration(
+            ready + simnet_sim::tick::us(10),
+            &mut nic,
+            &mut core,
+            &mut mem,
+            &mut app,
+        );
+        let s = *stack.stats().expect("dpdk maintains counters");
+        assert_eq!(s.iterations, 2);
+        assert_eq!(s.idle_iterations, 1);
+        assert_eq!(s.rx_packets, 4);
+        assert_eq!(s.tx_packets, 4);
+        assert!((s.idle_fraction() - 0.5).abs() < 1e-12);
+        stack.reset_stats();
+        assert_eq!(stack.stats().unwrap().iterations, 0);
     }
 
     #[test]

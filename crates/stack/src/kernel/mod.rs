@@ -24,7 +24,7 @@ use simnet_sim::Tick;
 
 use crate::app::{AppAction, PacketApp};
 use crate::footprint::FootprintStream;
-use crate::{Iteration, NetworkStack};
+use crate::{Iteration, NetworkStack, StackStats};
 
 /// Instruction-cost parameters of the kernel path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +91,7 @@ pub struct KernelStack {
     tx_mbuf_cursor: usize,
     tx_backlog: Vec<TxRequest>,
     tracer: Tracer,
+    stats: StackStats,
 }
 
 impl KernelStack {
@@ -113,6 +114,7 @@ impl KernelStack {
             tx_mbuf_cursor: 0,
             tx_backlog: Vec::new(),
             tracer: Tracer::disabled(),
+            stats: StackStats::default(),
         }
     }
 
@@ -152,7 +154,32 @@ impl NetworkStack for KernelStack {
         self.costs.wakeup_latency + self.costs.itr
     }
 
+    fn stats(&self) -> Option<&StackStats> {
+        Some(&self.stats)
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
     fn iteration(
+        &mut self,
+        now: Tick,
+        nic: &mut Nic,
+        core: &mut Core,
+        mem: &mut MemorySystem,
+        app: &mut dyn PacketApp,
+    ) -> Iteration {
+        let it = self.run_iteration(now, nic, core, mem, app);
+        self.stats.observe(&it);
+        it
+    }
+}
+
+impl KernelStack {
+    /// One NAPI/syscall cycle; the trait's `iteration` wraps this with
+    /// counter bookkeeping.
+    fn run_iteration(
         &mut self,
         now: Tick,
         nic: &mut Nic,

@@ -45,6 +45,76 @@ pub struct Iteration {
     pub idle: bool,
 }
 
+/// Aggregate iteration counters a stack maintains across its run loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StackStats {
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Iterations that found no work.
+    pub idle_iterations: u64,
+    /// Packets received and processed.
+    pub rx_packets: u64,
+    /// Packets submitted for transmission.
+    pub tx_packets: u64,
+}
+
+impl StackStats {
+    /// Folds one iteration's outcome in.
+    pub fn observe(&mut self, it: &Iteration) {
+        self.iterations += 1;
+        if it.idle {
+            self.idle_iterations += 1;
+        }
+        self.rx_packets += it.rx as u64;
+        self.tx_packets += it.tx as u64;
+    }
+
+    /// Fraction of iterations that found no work (0.0 when idle).
+    pub fn idle_fraction(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.idle_iterations as f64 / self.iterations as f64
+        }
+    }
+
+    /// Registers the `system.stack.*` statistics section (Full-level
+    /// only: the legacy dump carried no stack counters).
+    pub fn register_stats(&self, reg: &mut simnet_sim::stats::StatsRegistry) {
+        if !reg.full() {
+            return;
+        }
+        reg.scoped("system.stack", |reg| {
+            reg.scalar("iterations", self.iterations, "stack loop iterations");
+            reg.scalar(
+                "idleIterations",
+                self.idle_iterations,
+                "iterations that found no work",
+            );
+            reg.scalar(
+                "rxPackets",
+                self.rx_packets,
+                "packets picked up by software",
+            );
+            reg.scalar(
+                "txPackets",
+                self.tx_packets,
+                "packets submitted for transmission",
+            );
+            reg.float(
+                "idleFraction",
+                self.idle_fraction(),
+                "fraction of iterations finding no work",
+            );
+        });
+    }
+
+    /// Clears the counters (post-warm-up reset).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
 /// A software network stack driving one NIC port with one application.
 pub trait NetworkStack {
     /// The stack's name (for reports).
@@ -71,4 +141,12 @@ pub trait NetworkStack {
     /// stack reports software pickups (`sw_rx`) and application-boundary
     /// crossings (`app_rx`/`app_tx`). Default: tracing not supported.
     fn set_tracer(&mut self, _tracer: simnet_sim::trace::Tracer) {}
+
+    /// Iteration counters, when the stack maintains them.
+    fn stats(&self) -> Option<&StackStats> {
+        None
+    }
+
+    /// Clears iteration counters (post-warm-up reset). Default: no-op.
+    fn reset_stats(&mut self) {}
 }
