@@ -7,13 +7,31 @@ use simnet_mem::{
 };
 use simnet_net::{MacAddr, PacketBuilder};
 use simnet_nic::{Nic, NicConfig};
+use simnet_sim::event::BinaryHeapQueue;
 use simnet_sim::trace::Tracer;
 use simnet_sim::EventQueue;
 
 fn bench_event_queue(c: &mut Criterion) {
+    // Ladder queue (the production `EventQueue`) against the retained
+    // `BinaryHeapQueue` reference on the same workload. For the full
+    // scenario matrix and the committed baseline see
+    // `src/bin/queue_bench.rs` / BENCH_event_queue.json.
     c.bench_function("event_queue_push_pop_1k", |b| {
         b.iter(|| {
             let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(i * 7 % 997, i);
+            }
+            let mut sum = 0u64;
+            while let Some(e) = q.pop() {
+                sum = sum.wrapping_add(e.payload);
+            }
+            sum
+        })
+    });
+    c.bench_function("event_queue_push_pop_1k_heap_ref", |b| {
+        b.iter(|| {
+            let mut q = BinaryHeapQueue::new();
             for i in 0..1000u64 {
                 q.schedule(i * 7 % 997, i);
             }

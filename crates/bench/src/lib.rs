@@ -6,3 +6,16 @@
 //! * `components` — microbenchmarks of the simulator's hot paths (cache
 //!   lookups, DRAM accesses, event queue, packet building, full node
 //!   simulation throughput).
+//!
+//! One real binary, `queue_bench` (`src/bin/queue_bench.rs`), measures
+//! the two-level ladder [`simnet_sim::EventQueue`] against the
+//! [`simnet_sim::event::BinaryHeapQueue`] reference across workload
+//! shapes (bulk push/pop, steady churn, shallow sparse timers, same-tick
+//! cohorts) plus an end-to-end testpmd run. It writes and regression-checks
+//! the committed `BENCH_event_queue.json` baseline:
+//!
+//! ```text
+//! queue_bench --out BENCH_event_queue.json       # regenerate baseline
+//! queue_bench --check BENCH_event_queue.json     # fail if >20% slower
+//! queue_bench --scale 0.1                        # reduced-scale smoke
+//! ```

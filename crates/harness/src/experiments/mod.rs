@@ -71,12 +71,21 @@ impl Effort {
 }
 
 /// Runs `f` over `items` on a thread pool, preserving order.
+///
+/// A panic inside `f` is caught on the worker, remaining work is
+/// abandoned, and the *original* panic payload is re-raised on the
+/// calling thread — not a secondhand `PoisonError` from a worker finding
+/// the work queue poisoned (the panic never unwinds across the mutexes,
+/// so they cannot be poisoned at all).
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -94,16 +103,34 @@ where
     );
     let results: std::sync::Mutex<Vec<Option<R>>> =
         std::sync::Mutex::new((0..n).map(|_| None).collect());
+    let first_panic: std::sync::Mutex<Option<Box<dyn std::any::Any + Send>>> =
+        std::sync::Mutex::new(None);
+    let abort = AtomicBool::new(false);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
                 let next = work.lock().expect("work queue lock").next();
                 let Some((idx, item)) = next else { break };
-                let r = f(item);
-                results.lock().expect("results lock")[idx] = Some(r);
+                match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(r) => results.lock().expect("results lock")[idx] = Some(r),
+                    Err(payload) => {
+                        abort.store(true, Ordering::Relaxed);
+                        let mut slot = first_panic.lock().expect("panic slot lock");
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        break;
+                    }
+                }
             });
         }
     });
+    if let Some(payload) = first_panic.into_inner().expect("panic slot lock") {
+        resume_unwind(payload);
+    }
     results
         .into_inner()
         .expect("results lock")
@@ -178,6 +205,25 @@ mod tests {
     fn par_map_handles_empty_and_single() {
         assert_eq!(par_map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
         assert_eq!(par_map(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_propagates_the_original_worker_panic() {
+        // Enough items that the parallel path runs and other workers are
+        // mid-flight when one panics.
+        let result = std::panic::catch_unwind(|| {
+            par_map((0..256).collect::<Vec<i32>>(), |x| {
+                if x == 13 {
+                    panic!("boom at item {x}");
+                }
+                x * 2
+            })
+        });
+        let payload = result.expect_err("the worker panic must surface");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("the original formatted message, not a PoisonError");
+        assert!(msg.contains("boom at item 13"), "got: {msg}");
     }
 
     #[test]

@@ -363,6 +363,13 @@ impl Simulation {
         self.sampler.take().map(|s| s.series)
     }
 
+    /// Non-finite float cells the interval sampler has recorded so far
+    /// (each serialized as `null`/empty rather than a forged `0`), when
+    /// sampling is on. Dumped as `system.sampler.nonfinite`.
+    pub fn sampler_nonfinite(&self) -> Option<u64> {
+        self.sampler.as_ref().map(|s| s.series.nonfinite_count())
+    }
+
     /// Enables the self-profiler: per-event-kind host-time and event
     /// counts, attributed inside the event loop. Without this call the
     /// event loop takes no timestamps at all.
@@ -459,6 +466,13 @@ impl Simulation {
     }
 
     /// Runs the simulation until simulated tick `until`.
+    ///
+    /// The drain loop leans on the event queue's two-level ladder: a
+    /// same-tick cohort is sorted once when the clock reaches its bucket,
+    /// so the `pop_until` per iteration is an O(1) pop off the sorted
+    /// cohort (plus a cheap bound check) rather than a re-heapify of the
+    /// whole pending set — even when handlers schedule follow-up events
+    /// into the cohort being drained.
     pub fn run_until(&mut self, until: Tick) {
         self.start();
         if self.profiler.is_some() {

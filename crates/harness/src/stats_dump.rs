@@ -60,6 +60,18 @@ pub fn build_registry(sim: &Simulation, node: usize, level: DumpLevel) -> StatsR
     if let Some(lg) = &sim.loadgen {
         lg.register_stats(now, &mut reg);
     }
+
+    // Interval-sampler health: present only when sampling is on, so the
+    // compat dump for unsampled runs stays byte-identical.
+    if let Some(nonfinite) = sim.sampler_nonfinite() {
+        reg.scoped("system.sampler", |reg| {
+            reg.scalar(
+                "nonfinite",
+                nonfinite,
+                "non-finite sampled cells (serialized as null, not 0)",
+            );
+        });
+    }
     reg
 }
 

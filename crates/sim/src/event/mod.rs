@@ -4,11 +4,20 @@
 //! Ties at the same tick are broken first by [`Priority`] (lower value runs
 //! first, mirroring gem5's event priorities) and then by insertion order, so
 //! simulations are reproducible regardless of allocator or hash-map state.
+//!
+//! The implementation is a gem5-style two-level ladder ([`ladder`]): a
+//! bucketed near-future window drained cohort-at-a-time plus an overflow
+//! heap for far-future timers. The original single-`BinaryHeap` queue
+//! survives as [`BinaryHeapQueue`] ([`heap`]) — the reference model for
+//! differential tests and the baseline for `BENCH_event_queue.json`.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+mod heap;
+mod ladder;
+
+pub use heap::BinaryHeapQueue;
 
 use crate::tick::Tick;
+use ladder::LadderQueue;
 
 /// Scheduling priority for events that share a tick. Lower runs first.
 ///
@@ -54,36 +63,15 @@ pub struct Event<E> {
     pub payload: E,
 }
 
-struct HeapEntry<E> {
-    tick: Tick,
-    priority: Priority,
-    seq: u64,
-    payload: E,
-}
-
-impl<E> PartialEq for HeapEntry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.tick == other.tick && self.priority == other.priority && self.seq == other.seq
-    }
-}
-impl<E> Eq for HeapEntry<E> {}
-impl<E> PartialOrd for HeapEntry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for HeapEntry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event is on top.
-        (other.tick, other.priority, other.seq).cmp(&(self.tick, self.priority, self.seq))
-    }
-}
-
 /// A deterministic discrete-event queue.
 ///
 /// The queue tracks the current simulated time: popping an event advances
 /// [`EventQueue::now`] to that event's tick. Scheduling into the past is a
-/// bug and panics.
+/// bug and panics, as is scheduling past the `u64` tick horizon.
+///
+/// Internally this is a two-level ladder (near-future bucket ring +
+/// far-future overflow heap; see [`ladder`]); the observable behaviour is
+/// the strict `(tick, priority, seq)` total order.
 ///
 /// # Example
 ///
@@ -98,20 +86,42 @@ impl<E> Ord for HeapEntry<E> {
 /// assert_eq!(q.pop().unwrap().payload, "cpu");
 /// assert_eq!(q.now(), tick::ns(2));
 /// ```
-#[derive(Default)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<HeapEntry<E>>,
+    ladder: LadderQueue<E>,
     now: Tick,
     next_seq: u64,
     scheduled: u64,
     executed: u64,
 }
 
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<E> EventQueue<E> {
-    /// Creates an empty queue at tick 0.
+    /// Creates an empty queue at tick 0 with the default ladder geometry
+    /// (2048 buckets of 4.096 ns — an ~8.4 µs near-future window).
     pub fn new() -> Self {
+        Self::from_ladder(LadderQueue::new())
+    }
+
+    /// Creates an empty queue with an explicit ladder geometry:
+    /// `num_buckets` buckets (a power of two) of `2^bucket_shift` ticks
+    /// each. Smaller geometries are mainly useful for stress-testing
+    /// window wraps; the defaults fit the simulator's event-horizon mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_buckets` is not a power of two >= 2.
+    pub fn with_geometry(bucket_shift: u32, num_buckets: usize) -> Self {
+        Self::from_ladder(LadderQueue::with_geometry(bucket_shift, num_buckets))
+    }
+
+    fn from_ladder(ladder: LadderQueue<E>) -> Self {
         Self {
-            heap: BinaryHeap::new(),
+            ladder,
             now: 0,
             next_seq: 0,
             scheduled: 0,
@@ -126,12 +136,12 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.ladder.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.ladder.is_empty()
     }
 
     /// Total events scheduled since creation.
@@ -154,8 +164,21 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedules `payload` `delta` ticks after the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now + delta` overflows the `u64` tick horizon. (A
+    /// saturating add would silently pin the event at `u64::MAX` and
+    /// wedge the simulation at the time horizon; overflowing here is a
+    /// caller bug and fails loudly, like scheduling into the past.)
     pub fn schedule_in(&mut self, delta: Tick, payload: E) {
-        self.schedule(self.now.saturating_add(delta), payload);
+        let tick = self.now.checked_add(delta).unwrap_or_else(|| {
+            panic!(
+                "scheduling past the tick horizon: now {} + delta {delta} overflows u64",
+                self.now
+            )
+        });
+        self.schedule(tick, payload);
     }
 
     /// Schedules `payload` at `tick` with an explicit priority.
@@ -172,7 +195,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled += 1;
-        self.heap.push(HeapEntry {
+        self.ladder.insert(ladder::Entry {
             tick,
             priority,
             seq,
@@ -182,12 +205,12 @@ impl<E> EventQueue<E> {
 
     /// Tick of the next pending event, if any.
     pub fn peek_tick(&self) -> Option<Tick> {
-        self.heap.peek().map(|e| e.tick)
+        self.ladder.peek_tick()
     }
 
     /// Pops the next event and advances the clock to its tick.
     pub fn pop(&mut self) -> Option<Event<E>> {
-        let entry = self.heap.pop()?;
+        let entry = self.ladder.pop()?;
         debug_assert!(entry.tick >= self.now);
         self.now = entry.tick;
         self.executed += 1;
@@ -209,7 +232,7 @@ impl<E> EventQueue<E> {
 
     /// Discards all pending events without advancing time.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.ladder.clear(self.now);
     }
 }
 
@@ -217,7 +240,7 @@ impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
             .field("now", &self.now)
-            .field("pending", &self.heap.len())
+            .field("pending", &self.ladder.len())
             .field("scheduled", &self.scheduled)
             .field("executed", &self.executed)
             .finish()
@@ -292,6 +315,26 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "scheduling past the tick horizon")]
+    fn rejects_tick_overflow_instead_of_saturating() {
+        let mut q = EventQueue::new();
+        q.schedule(100, ());
+        q.pop();
+        // A saturating add would clamp this to u64::MAX and silently
+        // wedge the run at the horizon; it must panic instead.
+        q.schedule_in(u64::MAX, ());
+    }
+
+    #[test]
+    fn schedule_in_accepts_the_exact_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(100, ());
+        q.pop();
+        q.schedule_in(u64::MAX - 100, ());
+        assert_eq!(q.pop().unwrap().tick, u64::MAX);
+    }
+
+    #[test]
     fn pop_until_respects_limit() {
         let mut q = EventQueue::new();
         q.schedule(10, "early");
@@ -312,5 +355,60 @@ mod tests {
         assert_eq!(q.executed_count(), 1);
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_cross_the_overflow_boundary() {
+        // Default window is ~8.4 µs; schedule well past it.
+        let mut q = EventQueue::new();
+        q.schedule(tick::us(100), "sample");
+        q.schedule(tick::ns(5), "hot");
+        q.schedule(tick::us(10), "probe");
+        assert_eq!(q.peek_tick(), Some(tick::ns(5)));
+        assert_eq!(q.pop().unwrap().payload, "hot");
+        assert_eq!(q.pop().unwrap().payload, "probe");
+        assert_eq!(q.pop().unwrap().payload, "sample");
+        assert_eq!(q.now(), tick::us(100));
+    }
+
+    #[test]
+    fn clear_mid_window_then_reschedule() {
+        let mut q = EventQueue::with_geometry(2, 8);
+        for t in [1u64, 9, 40, 5_000] {
+            q.schedule(t, t);
+        }
+        assert_eq!(q.pop().unwrap().tick, 1);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), 1);
+        q.schedule(3, 3);
+        q.schedule(10_000, 10_000);
+        assert_eq!(q.pop().unwrap().tick, 3);
+        assert_eq!(q.pop().unwrap().tick, 10_000);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn tiny_geometry_matches_default_order() {
+        let ticks = [7u64, 7, 0, 3, 129, 64, 7, 1_000_000, 12, 12];
+        let mut tiny = EventQueue::with_geometry(1, 2);
+        let mut def = EventQueue::new();
+        for (i, t) in ticks.iter().enumerate() {
+            tiny.schedule_with_priority(*t, Priority((i % 3) as i16 - 1), i);
+            def.schedule_with_priority(*t, Priority((i % 3) as i16 - 1), i);
+        }
+        loop {
+            let (a, b) = (tiny.pop(), def.pop());
+            match (&a, &b) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(
+                        (x.tick, x.priority, x.seq, x.payload),
+                        (y.tick, y.priority, y.seq, y.payload)
+                    );
+                }
+                (None, None) => break,
+                _ => panic!("queues diverged: {a:?} vs {b:?}"),
+            }
+        }
     }
 }

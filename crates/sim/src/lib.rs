@@ -6,7 +6,11 @@
 //! * [`Tick`] — the global simulated time base (1 tick = 1 picosecond, the
 //!   same resolution gem5 uses), plus conversion helpers in [`tick`].
 //! * [`EventQueue`] — a deterministic, stable-ordered pending-event set
-//!   generic over the event payload type.
+//!   generic over the event payload type. Implemented as a gem5-style
+//!   two-level ladder (bucketed near-future window + far-future overflow
+//!   heap) that drains same-tick cohorts with one sort instead of
+//!   re-heapifying per event; the original heap survives as
+//!   [`event::BinaryHeapQueue`], the differential-test reference model.
 //! * [`stats`] — gem5-style statistics: scalars, running distributions,
 //!   histograms and sample sets with exact quantiles.
 //! * [`random`] — seeded pseudo-random distributions (fixed, uniform,

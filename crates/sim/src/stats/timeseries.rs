@@ -124,6 +124,10 @@ impl SampleValue {
 pub struct TimeSeries {
     columns: Vec<ColumnSpec>,
     rows: Vec<Vec<SampleValue>>,
+    /// Non-finite float cells pushed so far (serialized as `null`/empty);
+    /// surfaced as the `system.sampler.nonfinite` statistic so a NaN rate
+    /// is distinguishable from a true zero in the artifacts.
+    nonfinite: u64,
 }
 
 impl TimeSeries {
@@ -132,6 +136,7 @@ impl TimeSeries {
         Self {
             columns,
             rows: Vec::new(),
+            nonfinite: 0,
         }
     }
 
@@ -158,7 +163,18 @@ impl TimeSeries {
             row.len(),
             self.columns.len()
         );
+        self.nonfinite += row
+            .iter()
+            .filter(|v| matches!(v, SampleValue::Float(f) if !f.is_finite()))
+            .count() as u64;
         self.rows.push(row);
+    }
+
+    /// Number of non-finite float cells pushed since creation (or the
+    /// last [`TimeSeries::clear`]). These serialize as JSON `null` /
+    /// empty CSV fields rather than a forged `0`.
+    pub fn nonfinite_count(&self) -> u64 {
+        self.nonfinite
     }
 
     /// All rows in sample order.
@@ -176,9 +192,11 @@ impl TimeSeries {
         self.rows.is_empty()
     }
 
-    /// Discards all rows (warm-up reset), keeping the schema.
+    /// Discards all rows (warm-up reset), keeping the schema. The
+    /// non-finite cell count follows the rows back to zero.
     pub fn clear(&mut self) {
         self.rows.clear();
+        self.nonfinite = 0;
     }
 
     /// The named column as exact integers (panics if the name is unknown).
@@ -285,6 +303,26 @@ mod tests {
         assert!(ts.to_csv().lines().nth(1).unwrap().starts_with(','));
         assert_eq!(ts.float_column("t_us").len(), 1);
         assert_eq!(ts.rows()[0][0].as_u64(), 0);
+    }
+
+    #[test]
+    fn nonfinite_cells_are_counted_not_zeroed() {
+        let mut ts = two_col();
+        assert_eq!(ts.nonfinite_count(), 0);
+        ts.push_row(vec![SampleValue::Float(1.0), SampleValue::Int(1)]);
+        assert_eq!(ts.nonfinite_count(), 0);
+        ts.push_row(vec![SampleValue::Float(f64::NAN), SampleValue::Int(2)]);
+        ts.push_row(vec![SampleValue::Float(f64::INFINITY), SampleValue::Int(3)]);
+        assert_eq!(ts.nonfinite_count(), 2);
+        // The artifact never shows a forged zero: the NaN row's cell is
+        // null in ndjson and empty in CSV, while a genuine 0.0 prints.
+        ts.push_row(vec![SampleValue::Float(0.0), SampleValue::Int(4)]);
+        let ndjson = ts.to_ndjson();
+        assert_eq!(ndjson.matches("\"t_us\":null").count(), 2);
+        assert!(ndjson.contains("\"t_us\":0"));
+        // Warm-up reset discards the rows and their count together.
+        ts.clear();
+        assert_eq!(ts.nonfinite_count(), 0);
     }
 
     #[test]

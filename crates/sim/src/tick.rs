@@ -20,30 +20,63 @@ pub const S: Tick = 1_000_000_000_000;
 
 /// Converts nanoseconds to ticks.
 ///
+/// All unit conversions are checked: an unchecked `n * NS` silently wraps
+/// in release builds, so a large CLI-supplied duration would fold back
+/// into a short (or past) tick instead of failing. Overflow panics, in
+/// const and runtime contexts alike.
+///
 /// ```
 /// assert_eq!(simnet_sim::tick::ns(3), 3_000);
 /// ```
+///
+/// # Panics
+///
+/// Panics if the duration exceeds the `u64` tick horizon (~213 days).
 #[inline]
 pub const fn ns(n: u64) -> Tick {
-    n * NS
+    match n.checked_mul(NS) {
+        Some(t) => t,
+        None => panic!("tick::ns overflow: duration exceeds the u64 tick horizon"),
+    }
 }
 
 /// Converts microseconds to ticks.
+///
+/// # Panics
+///
+/// Panics if the duration exceeds the `u64` tick horizon (see [`ns`]).
 #[inline]
 pub const fn us(n: u64) -> Tick {
-    n * US
+    match n.checked_mul(US) {
+        Some(t) => t,
+        None => panic!("tick::us overflow: duration exceeds the u64 tick horizon"),
+    }
 }
 
 /// Converts milliseconds to ticks.
+///
+/// # Panics
+///
+/// Panics if the duration exceeds the `u64` tick horizon (see [`ns`]).
 #[inline]
 pub const fn ms(n: u64) -> Tick {
-    n * MS
+    match n.checked_mul(MS) {
+        Some(t) => t,
+        None => panic!("tick::ms overflow: duration exceeds the u64 tick horizon"),
+    }
 }
 
 /// Converts seconds to ticks.
+///
+/// # Panics
+///
+/// Panics if the duration exceeds the `u64` tick horizon (see [`ns`]).
 #[inline]
 pub const fn s(n: u64) -> Tick {
-    n * S
+    match n.checked_mul(S) {
+        Some(t) => t,
+        None => panic!("tick::s overflow: duration exceeds the u64 tick horizon"),
+    }
 }
 
 /// Converts ticks to fractional nanoseconds.
@@ -213,6 +246,40 @@ mod tests {
         assert_eq!(US, 1_000 * NS);
         assert_eq!(MS, 1_000 * US);
         assert_eq!(S, 1_000 * MS);
+    }
+
+    #[test]
+    fn conversions_accept_the_exact_horizon() {
+        // The largest representable duration in each unit must convert,
+        // one past it must panic (covered below), and none may wrap.
+        assert_eq!(ns(u64::MAX / NS), (u64::MAX / NS) * NS);
+        assert_eq!(us(u64::MAX / US), (u64::MAX / US) * US);
+        assert_eq!(ms(u64::MAX / MS), (u64::MAX / MS) * MS);
+        assert_eq!(s(u64::MAX / S), (u64::MAX / S) * S);
+    }
+
+    #[test]
+    #[should_panic(expected = "tick::ns overflow")]
+    fn ns_past_horizon_panics_instead_of_wrapping() {
+        ns(u64::MAX / NS + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tick::us overflow")]
+    fn us_past_horizon_panics_instead_of_wrapping() {
+        us(u64::MAX / US + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tick::ms overflow")]
+    fn ms_past_horizon_panics_instead_of_wrapping() {
+        ms(u64::MAX / MS + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tick::s overflow")]
+    fn s_past_horizon_panics_instead_of_wrapping() {
+        s(u64::MAX / S + 1);
     }
 
     #[test]
