@@ -44,7 +44,7 @@ impl PacketApp for Iperf {
 
     fn on_packet(
         &mut self,
-        completion: &RxCompletion,
+        completion: RxCompletion,
         user_buf: Addr,
         ops_out: &mut Vec<Op>,
     ) -> AppAction {
@@ -143,7 +143,7 @@ impl PacketApp for IperfTcp {
 
     fn on_packet(
         &mut self,
-        completion: &RxCompletion,
+        completion: RxCompletion,
         user_buf: Addr,
         ops_out: &mut Vec<Op>,
     ) -> AppAction {
@@ -158,7 +158,7 @@ impl PacketApp for IperfTcp {
             self.iss = 90_000;
             self.rcv_nxt = header.seq.wrapping_add(1);
             let synack = self.reply(
-                completion,
+                &completion,
                 &ip,
                 &header,
                 tcp::flags::SYN | tcp::flags::ACK,
@@ -186,7 +186,7 @@ impl PacketApp for IperfTcp {
             self.dup_acks_sent += 1;
         }
         let ack = self.reply(
-            completion,
+            &completion,
             &ip,
             &header,
             tcp::flags::ACK,
@@ -210,7 +210,7 @@ mod tests {
             slot: 0,
         };
         let mut ops = Vec::new();
-        let action = app.on_packet(&completion, 0x5000_0000, &mut ops);
+        let action = app.on_packet(completion, 0x5000_0000, &mut ops);
         assert_eq!(action, AppAction::Consume);
         assert_eq!(app.bytes(), 1024);
         assert_eq!(app.packets(), 1);
@@ -242,7 +242,7 @@ mod tests {
         let mut app = IperfTcp::new();
         let syn = TcpHeader::new(40_001, 5_001, 1_000, 0, flags::SYN, 0xFFFF);
         let mut ops = Vec::new();
-        let AppAction::Respond(reply) = app.on_packet(&tcp_completion(syn, &[]), 0, &mut ops)
+        let AppAction::Respond(reply) = app.on_packet(tcp_completion(syn, &[]), 0, &mut ops)
         else {
             panic!("SYN gets a reply");
         };
@@ -258,12 +258,12 @@ mod tests {
         let mut app = IperfTcp::new();
         let mut ops = Vec::new();
         let syn = TcpHeader::new(40_001, 5_001, 1_000, 0, flags::SYN, 0xFFFF);
-        app.on_packet(&tcp_completion(syn, &[]), 0, &mut ops);
+        app.on_packet(tcp_completion(syn, &[]), 0, &mut ops);
 
         // In-order segment at seq 1001.
         let seg1 = TcpHeader::new(40_001, 5_001, 1_001, 0, flags::ACK | flags::PSH, 0xFFFF);
         let AppAction::Respond(ack1) =
-            app.on_packet(&tcp_completion(seg1, &[9u8; 100]), 0x5000_0000, &mut ops)
+            app.on_packet(tcp_completion(seg1, &[9u8; 100]), 0x5000_0000, &mut ops)
         else {
             panic!("data gets acked");
         };
@@ -274,7 +274,7 @@ mod tests {
         // A hole: segment at 1301 while 1101 is expected -> duplicate ACK.
         let seg_hole = TcpHeader::new(40_001, 5_001, 1_301, 0, flags::ACK | flags::PSH, 0xFFFF);
         let AppAction::Respond(dup) = app.on_packet(
-            &tcp_completion(seg_hole, &[9u8; 100]),
+            tcp_completion(seg_hole, &[9u8; 100]),
             0x5000_0000,
             &mut ops,
         ) else {
@@ -288,7 +288,7 @@ mod tests {
         // The retransmission fills the hole.
         let seg_fill = TcpHeader::new(40_001, 5_001, 1_101, 0, flags::ACK | flags::PSH, 0xFFFF);
         app.on_packet(
-            &tcp_completion(seg_fill, &[9u8; 100]),
+            tcp_completion(seg_fill, &[9u8; 100]),
             0x5000_0000,
             &mut ops,
         );
@@ -305,11 +305,11 @@ mod tests {
             packet: PacketBuilder::new().frame_len(64).build(0),
             slot: 0,
         };
-        assert_eq!(app.on_packet(&udp, 0, &mut ops), AppAction::Consume);
+        assert_eq!(app.on_packet(udp, 0, &mut ops), AppAction::Consume);
         // Data before a handshake.
         let seg = TcpHeader::new(1, 2, 5, 0, flags::ACK, 10);
         assert_eq!(
-            app.on_packet(&tcp_completion(seg, &[1u8; 10]), 0, &mut ops),
+            app.on_packet(tcp_completion(seg, &[1u8; 10]), 0, &mut ops),
             AppAction::Consume
         );
         assert_eq!(app.bytes(), 0);

@@ -40,7 +40,7 @@ pub struct KvStats {
 /// use simnet_apps::KvStore;
 /// let mut store = KvStore::new(4096);
 /// let mut ops = Vec::new();
-/// store.set(b"k".to_vec(), b"v".to_vec(), &mut ops);
+/// store.set(b"k", b"v", &mut ops);
 /// assert_eq!(store.get(b"k", &mut ops), Some(&b"v"[..]));
 /// assert_eq!(store.get(b"absent", &mut ops), None);
 /// assert!(!ops.is_empty(), "operations emit modeled work");
@@ -148,8 +148,10 @@ impl KvStore {
     }
 
     /// Inserts or replaces `key` → `value`, emitting the modeled work.
-    pub fn set(&mut self, key: Vec<u8>, value: Vec<u8>, ops_out: &mut Vec<Op>) {
-        let index = match self.map.get(&key) {
+    /// The bytes are copied into the store only here, where ownership is
+    /// genuinely needed — callers keep their borrowed views.
+    pub fn set(&mut self, key: &[u8], value: &[u8], ops_out: &mut Vec<Op>) {
+        let index = match self.map.get(key) {
             Some(e) => e.index,
             None => {
                 let i = self.next_entry;
@@ -158,7 +160,7 @@ impl KvStore {
             }
         };
         self.emit_lookup_path(
-            &key,
+            key,
             Some(&Entry {
                 index,
                 value: Vec::new(),
@@ -169,7 +171,21 @@ impl KvStore {
         let addr = Self::entry_addr(index) + 64;
         ops::stores_over(ops_out, addr, value.len().max(1) as u64);
         self.stats.sets.inc();
-        self.map.insert(key, Entry { index, value });
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.value.clear();
+                entry.value.extend_from_slice(value);
+            }
+            None => {
+                self.map.insert(
+                    key.to_vec(),
+                    Entry {
+                        index,
+                        value: value.to_vec(),
+                    },
+                );
+            }
+        }
     }
 
     /// Warms the store with `count` keys named by
@@ -182,7 +198,7 @@ impl KvStore {
             let key = simnet_net::proto::memcached::nth_key(i);
             let len = lengths.sample(rng) as usize;
             let value = vec![(i % 251) as u8; len];
-            self.set(key, value, &mut scratch);
+            self.set(&key, &value, &mut scratch);
             scratch.clear();
         }
     }
@@ -197,7 +213,7 @@ mod tests {
     fn set_get_round_trip() {
         let mut store = KvStore::new(1024);
         let mut ops = Vec::new();
-        store.set(b"alpha".to_vec(), vec![1, 2, 3], &mut ops);
+        store.set(b"alpha", &[1, 2, 3], &mut ops);
         assert_eq!(store.get(b"alpha", &mut ops), Some(&[1u8, 2, 3][..]));
         assert_eq!(store.len(), 1);
         assert_eq!(store.stats().hits.value(), 1);
@@ -209,7 +225,7 @@ mod tests {
         let mut store = KvStore::new(1024);
         let mut hit_ops = Vec::new();
         let mut miss_ops = Vec::new();
-        store.set(b"k".to_vec(), vec![0; 100], &mut Vec::new());
+        store.set(b"k", &[0; 100], &mut Vec::new());
         store.get(b"k", &mut hit_ops);
         store.get(b"nope", &mut miss_ops);
         assert_eq!(store.stats().misses.value(), 1);
@@ -220,8 +236,8 @@ mod tests {
     fn overwrite_keeps_entry_slot() {
         let mut store = KvStore::new(64);
         let mut ops = Vec::new();
-        store.set(b"k".to_vec(), vec![1], &mut ops);
-        store.set(b"k".to_vec(), vec![2, 2], &mut ops);
+        store.set(b"k", &[1], &mut ops);
+        store.set(b"k", &[2, 2], &mut ops);
         assert_eq!(store.len(), 1);
         assert_eq!(store.get(b"k", &mut ops), Some(&[2u8, 2][..]));
     }
@@ -230,7 +246,7 @@ mod tests {
     fn lookups_emit_dependent_chains() {
         let mut store = KvStore::new(64);
         let mut ops = Vec::new();
-        store.set(b"key".to_vec(), vec![0; 64], &mut Vec::new());
+        store.set(b"key", &[0; 64], &mut Vec::new());
         store.get(b"key", &mut ops);
         let chases = ops
             .iter()

@@ -12,7 +12,8 @@ use simnet_mem::Addr;
 use simnet_net::ethernet::ETHERNET_HEADER_LEN;
 use simnet_net::ipv4::IPV4_HEADER_LEN;
 use simnet_net::proto::memcached::{
-    decode_request_datagram, encode_response_datagram, Request, Response,
+    decode_request_datagram, encode_response_datagram_into, response_datagram_len, Request,
+    Response,
 };
 use simnet_net::udp::UDP_HEADER_LEN;
 use simnet_net::{Packet, PacketBuilder};
@@ -49,7 +50,7 @@ struct Server {
 impl Server {
     fn handle(
         &mut self,
-        completion: &RxCompletion,
+        completion: RxCompletion,
         buf_addr: Addr,
         ops_out: &mut Vec<Op>,
     ) -> AppAction {
@@ -69,11 +70,11 @@ impl Server {
         self.state.emit_loads(ops_out, 16);
         ops::loads_over(ops_out, buf_addr, completion.packet.len() as u64);
 
+        // The response borrows a hit's value straight out of the store:
+        // no copy until the bytes land in the reply frame.
         let response = match request {
-            Request::Get { key } => match self.store.get(&key, ops_out) {
-                Some(value) => Response::Hit {
-                    value: value.to_vec(),
-                },
+            Request::Get { key } => match self.store.get(key, ops_out) {
+                Some(value) => Response::Hit { value },
                 None => Response::Miss,
             },
             Request::Set { key, value } => {
@@ -82,21 +83,22 @@ impl Server {
             }
         };
 
-        // Encode and address the response back at the requester.
+        // Encode the response directly into the (pooled) reply frame.
         ops_out.push(Op::Compute(120));
-        let datagram = encode_response_datagram(header.request_id, &response);
+        let datagram_len = response_datagram_len(&response);
         let eth = completion
             .packet
             .ethernet()
             .expect("udp() implies a valid ethernet header");
-        let natural = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN + datagram.len();
+        let natural = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN + datagram_len;
         let reply: Packet = PacketBuilder::new()
             .dst(eth.src)
             .src(eth.dst)
             .udp(ip.dst, ip.src, udp.dst_port, udp.src_port)
-            .payload(&datagram)
             .frame_len(natural.max(simnet_net::MIN_FRAME_LEN))
-            .build(completion.packet.id());
+            .build_with(completion.packet.id(), datagram_len, |buf| {
+                encode_response_datagram_into(buf, header.request_id, &response);
+            });
         self.responses.inc();
         AppAction::Respond(reply)
     }
@@ -146,7 +148,7 @@ impl PacketApp for MemcachedDpdk {
 
     fn on_packet(
         &mut self,
-        completion: &RxCompletion,
+        completion: RxCompletion,
         buf_addr: Addr,
         ops: &mut Vec<Op>,
     ) -> AppAction {
@@ -195,7 +197,7 @@ impl PacketApp for MemcachedKernel {
 
     fn on_packet(
         &mut self,
-        completion: &RxCompletion,
+        completion: RxCompletion,
         buf_addr: Addr,
         ops: &mut Vec<Op>,
     ) -> AppAction {
@@ -236,9 +238,9 @@ mod tests {
     #[test]
     fn get_hit_produces_addressed_reply() {
         let mut app = MemcachedDpdk::new(warmed_store());
-        let completion = request_packet(42, &Request::Get { key: nth_key(5) });
+        let completion = request_packet(42, &Request::Get { key: &nth_key(5) });
         let mut ops = Vec::new();
-        let AppAction::Respond(reply) = app.on_packet(&completion, 0x5000_0000, &mut ops) else {
+        let AppAction::Respond(reply) = app.on_packet(completion, 0x5000_0000, &mut ops) else {
             panic!("server must respond");
         };
         // Reply goes back to the requester with swapped addressing.
@@ -259,12 +261,10 @@ mod tests {
         let mut app = MemcachedDpdk::new(warmed_store());
         let completion = request_packet(
             1,
-            &Request::Get {
-                key: b"not-a-key".to_vec(),
-            },
+            &Request::Get { key: b"not-a-key" },
         );
         let mut ops = Vec::new();
-        let AppAction::Respond(reply) = app.on_packet(&completion, 0, &mut ops) else {
+        let AppAction::Respond(reply) = app.on_packet(completion, 0, &mut ops) else {
             panic!("respond");
         };
         let (_, _, payload) = reply.udp().unwrap();
@@ -278,12 +278,12 @@ mod tests {
         let completion = request_packet(
             2,
             &Request::Set {
-                key: b"new".to_vec(),
-                value: vec![9; 40],
+                key: b"new",
+                value: &[9; 40],
             },
         );
         let mut ops = Vec::new();
-        let AppAction::Respond(reply) = app.on_packet(&completion, 0, &mut ops) else {
+        let AppAction::Respond(reply) = app.on_packet(completion, 0, &mut ops) else {
             panic!("respond");
         };
         let (_, _, payload) = reply.udp().unwrap();
@@ -301,7 +301,7 @@ mod tests {
             slot: 0,
         };
         let mut ops = Vec::new();
-        assert_eq!(app.on_packet(&completion, 0, &mut ops), AppAction::Consume);
+        assert_eq!(app.on_packet(completion, 0, &mut ops), AppAction::Consume);
         assert_eq!(app.parse_errors(), 1);
     }
 
@@ -309,11 +309,11 @@ mod tests {
     fn kernel_variant_costs_more_dispatch() {
         let mut dpdk = MemcachedDpdk::new(warmed_store());
         let mut kernel = MemcachedKernel::new(warmed_store());
-        let completion = request_packet(3, &Request::Get { key: nth_key(1) });
+        let completion = request_packet(3, &Request::Get { key: &nth_key(1) });
         let mut a = Vec::new();
         let mut b = Vec::new();
-        dpdk.on_packet(&completion, 0, &mut a);
-        kernel.on_packet(&completion, 0, &mut b);
+        dpdk.on_packet(completion.clone(), 0, &mut a);
+        kernel.on_packet(completion, 0, &mut b);
         let instr = |ops: &[Op]| ops.iter().map(Op::instructions).sum::<u64>();
         assert!(instr(&b) > instr(&a) + 5000);
         assert_eq!(kernel.responses(), 1);

@@ -61,7 +61,7 @@ impl PacketApp for RxpTx {
 
     fn on_packet(
         &mut self,
-        completion: &RxCompletion,
+        completion: RxCompletion,
         mbuf_addr: Addr,
         ops: &mut Vec<Op>,
     ) -> AppAction {
@@ -69,7 +69,8 @@ impl PacketApp for RxpTx {
         ops.push(Op::Load(mbuf_addr));
         ops.push(Op::Compute(8));
         self.forwarded += 1;
-        AppAction::Forward(completion.packet.clone())
+        // Zero-copy: the owned RX buffer is re-enqueued for TX as-is.
+        AppAction::Forward(completion.packet)
     }
 }
 
@@ -100,7 +101,7 @@ mod tests {
     fn forwards_every_packet() {
         let mut app = RxpTx::new(ns(100));
         let mut ops = Vec::new();
-        let action = app.on_packet(&completion(), 0, &mut ops);
+        let action = app.on_packet(completion(), 0, &mut ops);
         assert!(matches!(action, AppAction::Forward(_)));
         assert_eq!(app.forwarded(), 1);
         assert_eq!(app.proc_time(), ns(100));
@@ -114,7 +115,7 @@ mod tests {
         let burst_instr: u64 = burst_ops.iter().map(simnet_cpu::Op::instructions).sum();
         assert_eq!(burst_instr, 12_000);
         let mut pkt_ops = Vec::new();
-        app.on_packet(&completion(), 0, &mut pkt_ops);
+        app.on_packet(completion(), 0, &mut pkt_ops);
         let pkt_instr: u64 = pkt_ops.iter().map(simnet_cpu::Op::instructions).sum();
         assert!(pkt_instr < 100, "per-packet work is small: {pkt_instr}");
     }
@@ -131,7 +132,7 @@ mod tests {
         let mut app = RxpTx::new(0);
         let mut ops = Vec::new();
         app.on_burst(1, &mut ops);
-        app.on_packet(&completion(), 0, &mut ops);
+        app.on_packet(completion(), 0, &mut ops);
         let instr: u64 = ops.iter().map(Op::instructions).sum();
         assert!(instr >= 4);
     }

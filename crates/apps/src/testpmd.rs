@@ -52,13 +52,15 @@ impl PacketApp for TestPmd {
 
     fn on_packet(
         &mut self,
-        completion: &RxCompletion,
+        completion: RxCompletion,
         mbuf_addr: Addr,
         ops: &mut Vec<Op>,
     ) -> AppAction {
         // Forwarding decision over the 14-byte L2 header.
         ops.push(Op::Compute(40));
-        let mut packet = completion.packet.clone();
+        // The completion is owned: re-enqueue the same buffer, as real
+        // testpmd re-enqueues the same mbuf.
+        let mut packet = completion.packet;
         if self.mode == ForwardMode::MacSwap {
             // Read-modify-write of the header line.
             ops.push(Op::Load(mbuf_addr));
@@ -92,7 +94,7 @@ mod tests {
     fn macswap_swaps_and_forwards() {
         let mut app = TestPmd::new();
         let mut ops = Vec::new();
-        let action = app.on_packet(&completion(64), 0x2000_0000, &mut ops);
+        let action = app.on_packet(completion(64), 0x2000_0000, &mut ops);
         let AppAction::Forward(pkt) = action else {
             panic!("testpmd forwards");
         };
@@ -105,7 +107,7 @@ mod tests {
     fn io_mode_leaves_header_untouched() {
         let mut app = TestPmd::with_mode(ForwardMode::Io);
         let mut ops = Vec::new();
-        let AppAction::Forward(pkt) = app.on_packet(&completion(64), 0, &mut ops) else {
+        let AppAction::Forward(pkt) = app.on_packet(completion(64), 0, &mut ops) else {
             panic!("forwards");
         };
         assert_eq!(pkt.ethernet().unwrap().dst, MacAddr::simulated(1));
@@ -119,7 +121,7 @@ mod tests {
         for mode in [ForwardMode::Io, ForwardMode::MacSwap] {
             let mut app = TestPmd::with_mode(mode);
             let mut ops = Vec::new();
-            let AppAction::Forward(pkt) = app.on_packet(&completion(256), 0, &mut ops) else {
+            let AppAction::Forward(pkt) = app.on_packet(completion(256), 0, &mut ops) else {
                 panic!("forwards");
             };
             assert_eq!(pkt.id(), 5, "forwarded packet keeps the RX packet id");
@@ -132,8 +134,8 @@ mod tests {
         let mut app = TestPmd::new();
         let mut small = Vec::new();
         let mut large = Vec::new();
-        app.on_packet(&completion(64), 0, &mut small);
-        app.on_packet(&completion(1518), 0, &mut large);
+        app.on_packet(completion(64), 0, &mut small);
+        app.on_packet(completion(1518), 0, &mut large);
         assert_eq!(small.len(), large.len());
     }
 }

@@ -49,13 +49,14 @@ impl PacketApp for TouchFwd {
 
     fn on_packet(
         &mut self,
-        completion: &RxCompletion,
+        completion: RxCompletion,
         mbuf_addr: Addr,
         ops: &mut Vec<Op>,
     ) -> AppAction {
         ops.push(Op::Compute(40));
         touch_payload(completion.packet.len(), mbuf_addr, ops);
-        let mut packet = completion.packet.clone();
+        // Owned handle: macswap mutates the pooled buffer in place.
+        let mut packet = completion.packet;
         packet.macswap();
         ops.push(Op::Store(mbuf_addr));
         self.forwarded += 1;
@@ -88,7 +89,7 @@ impl PacketApp for TouchDrop {
 
     fn on_packet(
         &mut self,
-        completion: &RxCompletion,
+        completion: RxCompletion,
         mbuf_addr: Addr,
         ops: &mut Vec<Op>,
     ) -> AppAction {
@@ -125,8 +126,8 @@ mod tests {
         let mut app = TouchFwd::new();
         let mut small = Vec::new();
         let mut large = Vec::new();
-        app.on_packet(&completion(64), 0x2000_0000, &mut small);
-        app.on_packet(&completion(1518), 0x2000_0000, &mut large);
+        app.on_packet(completion(64), 0x2000_0000, &mut small);
+        app.on_packet(completion(1518), 0x2000_0000, &mut large);
         assert!(total_instructions(&large) > total_instructions(&small) * 15);
         assert_eq!(payload_loads(&small), 1);
         assert_eq!(payload_loads(&large), 24);
@@ -136,7 +137,7 @@ mod tests {
     fn touchfwd_forwards_with_macswap() {
         let mut app = TouchFwd::new();
         let mut ops = Vec::new();
-        let action = app.on_packet(&completion(256), 0, &mut ops);
+        let action = app.on_packet(completion(256), 0, &mut ops);
         assert!(matches!(action, AppAction::Forward(_)));
         assert_eq!(app.forwarded(), 1);
     }
@@ -145,7 +146,7 @@ mod tests {
     fn touchdrop_consumes() {
         let mut app = TouchDrop::new();
         let mut ops = Vec::new();
-        let action = app.on_packet(&completion(256), 0, &mut ops);
+        let action = app.on_packet(completion(256), 0, &mut ops);
         assert_eq!(action, AppAction::Consume);
         assert_eq!(app.consumed(), 1);
     }
@@ -156,8 +157,8 @@ mod tests {
         let mut drop = TouchDrop::new();
         let mut a = Vec::new();
         let mut b = Vec::new();
-        fwd.on_packet(&completion(512), 0, &mut a);
-        drop.on_packet(&completion(512), 0, &mut b);
+        fwd.on_packet(completion(512), 0, &mut a);
+        drop.on_packet(completion(512), 0, &mut b);
         assert!(total_instructions(&b) < total_instructions(&a));
     }
 }

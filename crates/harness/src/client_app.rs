@@ -51,7 +51,7 @@ impl PacketApp for SoftwareClient {
         "software-loadgen"
     }
 
-    fn on_packet(&mut self, completion: &RxCompletion, _buf: Addr, ops: &mut Vec<Op>) -> AppAction {
+    fn on_packet(&mut self, completion: RxCompletion, _buf: Addr, ops: &mut Vec<Op>) -> AppAction {
         ops.push(Op::Compute(self.per_rx_instructions));
         self.gen.on_rx(completion.visible_at, &completion.packet);
         AppAction::Consume
@@ -121,7 +121,7 @@ mod tests {
             packet: pkt,
             slot: 0,
         };
-        assert_eq!(c.on_packet(&completion, 0, &mut ops), AppAction::Consume);
+        assert_eq!(c.on_packet(completion, 0, &mut ops), AppAction::Consume);
         assert_eq!(c.generator().rx_packets(), 1);
         let report = c.generator().report(0, 10_000_000);
         assert_eq!(report.latency.count, 1);

@@ -130,6 +130,9 @@ fn sample_columns() -> Vec<ColumnSpec> {
         ColumnSpec::float("llc_miss_rate", "cumulative LLC miss rate"),
         ColumnSpec::float("ipc", "cumulative instructions per cycle"),
         ColumnSpec::float("row_hit_rate", "cumulative DRAM row-buffer hit rate"),
+        ColumnSpec::int("pool_in_use", "pooled packet buffers held by live handles"),
+        ColumnSpec::int("pool_hwm", "peak pooled buffers in use since reset"),
+        ColumnSpec::int("pool_fallback", "cumulative heap-fallback packet allocations"),
     ]
 }
 
@@ -232,6 +235,9 @@ impl Simulation {
         app: Box<dyn PacketApp>,
         loadgen: EtherLoadGen,
     ) -> Self {
+        // Packet-pool counters describe one simulation; earlier runs on
+        // this worker thread must not leak into this run's stats.
+        simnet_net::pool::reset_stats();
         Self {
             queue: EventQueue::new(),
             nodes: vec![Node::new(cfg, stack, app)],
@@ -258,6 +264,7 @@ impl Simulation {
         drive_stack: Box<dyn NetworkStack>,
         drive_app: Box<dyn PacketApp>,
     ) -> Self {
+        simnet_net::pool::reset_stats();
         Self {
             queue: EventQueue::new(),
             nodes: vec![
@@ -518,6 +525,10 @@ impl Simulation {
             link.reset_stats();
         }
         self.faults.reset_counts();
+        // The packet pool's alloc/recycle history follows the other
+        // counters back to zero; its high-water mark re-baselines to the
+        // currently outstanding buffers.
+        simnet_net::pool::reset_stats();
         // Interval rows collected during warm-up are discarded, and the
         // delta baselines follow the counters back to zero so post-reset
         // deltas still sum exactly to the final cumulative values.
@@ -740,6 +751,7 @@ impl Simulation {
         let core = n.core.stats();
         let fifo_used = n.nic.rx_fifo_used();
         let fifo_cap = n.nic.rx_fifo_capacity();
+        let pool = simnet_net::pool::stats();
         sampler.series.push_row(vec![
             SampleValue::Float(now as f64 / 1e6),
             SampleValue::Int(ns.rx_frames.value()),
@@ -757,6 +769,9 @@ impl Simulation {
             SampleValue::Float(llc.miss_rate()),
             SampleValue::Float(core.ipc(n.core.config().frequency)),
             SampleValue::Float(n.mem.dram_stats().row_hit_rate()),
+            SampleValue::Int(pool.in_use),
+            SampleValue::Int(pool.high_water),
+            SampleValue::Int(pool.heap_fallback),
         ]);
         sampler.prev = cur;
         sampler.last_sample = Some(now);

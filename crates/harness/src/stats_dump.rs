@@ -72,6 +72,46 @@ pub fn build_registry(sim: &Simulation, node: usize, level: DumpLevel) -> StatsR
             );
         });
     }
+
+    // Packet-mempool accounting is a post-registry addition: Full level
+    // only, so the frozen compat dump stays byte-identical.
+    if reg.full() {
+        let pool = simnet_net::pool::stats();
+        reg.scoped("system.mempool", |reg| {
+            reg.scalar(
+                "inUse",
+                pool.in_use,
+                "pooled packet buffers held by live handles",
+            );
+            reg.scalar(
+                "highWater",
+                pool.high_water,
+                "peak pooled buffers in use since reset",
+            );
+            for (i, cap) in simnet_net::pool::CLASS_CAPS.iter().enumerate() {
+                reg.scalar(
+                    &format!("class{cap}.allocs"),
+                    pool.class_allocs[i],
+                    "allocations served from this buffer class",
+                );
+                reg.scalar(
+                    &format!("class{cap}.recycles"),
+                    pool.class_recycles[i],
+                    "buffers returned to this class's freelist",
+                );
+            }
+            reg.scalar(
+                "heapFallbacks",
+                pool.heap_fallback,
+                "allocations that fell back to the heap (class exhausted)",
+            );
+            reg.scalar(
+                "heapLive",
+                pool.heap_live,
+                "heap-fallback buffers held by live handles",
+            );
+        });
+    }
     reg
 }
 
@@ -473,6 +513,11 @@ mod tests {
             "system.pci.configReads",
             "system.llc.dma_hits",
             "system.nic.rx_fifo_peak",
+            "system.mempool.inUse",
+            "system.mempool.highWater",
+            "system.mempool.class2048.allocs",
+            "system.mempool.class2048.recycles",
+            "system.mempool.heapFallbacks",
         ] {
             assert!(compat.get(needle).is_none(), "{needle} leaked into compat");
             assert!(full.get(needle).is_some(), "{needle} missing from full");

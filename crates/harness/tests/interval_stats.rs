@@ -166,15 +166,48 @@ fn timeseries_serializations_carry_the_schema() {
         "llc_miss_rate",
         "ipc",
         "row_hit_rate",
+        "pool_in_use",
+        "pool_hwm",
+        "pool_fallback",
     ] {
         assert!(first.contains(&format!("\"{col}\":")), "{col} in ndjson");
     }
     let csv = ts.to_csv();
     let header = csv.lines().next().expect("csv header");
     assert!(header.starts_with("t_us,rx_frames,tx_frames,drop_dma"));
+    assert!(
+        header.ends_with("pool_in_use,pool_hwm,pool_fallback"),
+        "mempool gauges close the schema: {header}"
+    );
     assert_eq!(
         csv.lines().count(),
         ts.len() + 1,
         "header + one line per row"
+    );
+}
+
+/// The mempool gauges in the time series are internally consistent: the
+/// high-water mark bounds the in-use gauge in every interval, and a
+/// healthy run never falls back to the heap.
+#[test]
+fn mempool_gauges_are_consistent_over_time() {
+    let run = observed_testpmd(
+        40.0,
+        ObserveOpts {
+            stats_interval: Some(us(200)),
+            ..Default::default()
+        },
+    );
+    let ts = run.timeseries.expect("sampling was on");
+    let in_use = ts.int_column("pool_in_use");
+    let hwm = ts.int_column("pool_hwm");
+    let fallback = ts.int_column("pool_fallback");
+    for ((&u, &h), &f) in in_use.iter().zip(&hwm).zip(&fallback) {
+        assert!(h >= u, "high-water {h} below in-use {u}");
+        assert_eq!(f, 0, "no heap fallback under normal load");
+    }
+    assert!(
+        hwm.last().copied().unwrap_or(0) > 0,
+        "1518B frames must circulate through the pool"
     );
 }

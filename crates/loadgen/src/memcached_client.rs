@@ -7,18 +7,21 @@
 //! outstanding requests using the request ID field in the Memcached
 //! request packet."
 
-use std::collections::HashMap;
-
 use simnet_net::ethernet::ETHERNET_HEADER_LEN;
 use simnet_net::ipv4::IPV4_HEADER_LEN;
 use simnet_net::proto::memcached::{
-    decode_response_datagram, encode_request_datagram, nth_key, Request, Response,
+    decode_response_datagram, encode_request_datagram_into, nth_key_into, request_datagram_len,
+    Request, Response, NTH_KEY_LEN,
 };
 use simnet_net::udp::UDP_HEADER_LEN;
 use simnet_net::{MacAddr, Packet, PacketBuilder, MIN_FRAME_LEN};
 use simnet_sim::random::{Distribution, SimRng, Zipf};
 use simnet_sim::stats::Counter;
 use simnet_sim::tick::{Tick, S};
+
+/// Sentinel for a free slot in the outstanding-request table (no real
+/// send timestamp can reach it).
+const NO_REQUEST: Tick = Tick::MAX;
 
 /// Memcached client-mode parameters and state.
 #[derive(Debug, Clone)]
@@ -35,7 +38,13 @@ pub struct MemcachedClientConfig {
     pub server_mac: MacAddr,
     /// Client MAC.
     pub client_mac: MacAddr,
-    outstanding: HashMap<u16, Tick>,
+    /// Send timestamps of outstanding requests, indexed by request id
+    /// (a flat array beats a hash map in the per-request hot path;
+    /// [`NO_REQUEST`] marks free slots).
+    outstanding: Vec<Tick>,
+    outstanding_count: usize,
+    /// Reusable SET-value staging buffer (steady-state allocation-free).
+    value_scratch: Vec<u8>,
     /// GET hits observed.
     pub hits: Counter,
     /// GET misses observed.
@@ -60,7 +69,9 @@ impl MemcachedClientConfig {
             lengths: Zipf::paper_lengths(),
             server_mac,
             client_mac,
-            outstanding: HashMap::new(),
+            outstanding: vec![NO_REQUEST; 1 << 16],
+            outstanding_count: 0,
+            value_scratch: Vec::new(),
             hits: Counter::new(),
             misses: Counter::new(),
             stored: Counter::new(),
@@ -75,31 +86,41 @@ impl MemcachedClientConfig {
 
     /// Outstanding (unanswered) requests.
     pub fn outstanding_len(&self) -> usize {
-        self.outstanding.len()
+        self.outstanding_count
     }
 
     pub(crate) fn build(&mut self, id: u64, now: Tick, rng: &mut SimRng) -> (Packet, Option<Tick>) {
         let request_id = (id % u64::from(u16::MAX) + 1) as u16;
-        let key = nth_key(rng.uniform_u64(0, self.key_space.saturating_sub(1)));
+        // Key on the stack, SET value in a reused scratch buffer, and the
+        // datagram encoded straight into the pooled frame: a request
+        // costs no heap allocation.
+        let mut key = [0u8; NTH_KEY_LEN];
+        nth_key_into(rng.uniform_u64(0, self.key_space.saturating_sub(1)), &mut key);
         let request = if rng.chance(self.get_ratio) {
-            Request::Get { key }
+            Request::Get { key: &key }
         } else {
             let len = self.lengths.sample(rng) as usize;
+            self.value_scratch.clear();
+            self.value_scratch.resize(len, 0xA5);
             Request::Set {
-                key,
-                value: vec![0xA5; len],
+                key: &key,
+                value: &self.value_scratch,
             }
         };
-        let datagram = encode_request_datagram(request_id, &request);
-        let natural = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN + datagram.len();
+        let datagram_len = request_datagram_len(&request);
+        let natural = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN + datagram_len;
         let packet = PacketBuilder::new()
             .dst(self.server_mac)
             .src(self.client_mac)
             .udp([10, 0, 0, 2], [10, 0, 0, 1], 40_000, 11_211)
-            .payload(&datagram)
             .frame_len(natural.max(MIN_FRAME_LEN))
-            .build(id);
-        self.outstanding.insert(request_id, now);
+            .build_with(id, datagram_len, |buf| {
+                encode_request_datagram_into(buf, request_id, &request);
+            });
+        if self.outstanding[request_id as usize] == NO_REQUEST {
+            self.outstanding_count += 1;
+        }
+        self.outstanding[request_id as usize] = now;
         let interval = self.interarrival.sample(rng).round() as Tick;
         (packet, Some(interval.max(1)))
     }
@@ -116,13 +137,15 @@ impl MemcachedClientConfig {
             Response::Miss => self.misses.inc(),
             Response::Stored => self.stored.inc(),
         }
-        match self.outstanding.remove(&header.request_id) {
-            Some(sent) => Some(now.saturating_sub(sent)),
-            None => {
-                self.unmatched.inc();
-                None
-            }
+        let slot = &mut self.outstanding[header.request_id as usize];
+        if *slot == NO_REQUEST {
+            self.unmatched.inc();
+            return None;
         }
+        let sent = *slot;
+        *slot = NO_REQUEST;
+        self.outstanding_count -= 1;
+        Some(now.saturating_sub(sent))
     }
 
     pub(crate) fn reset_stats(&mut self) {

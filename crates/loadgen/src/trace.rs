@@ -88,11 +88,12 @@ impl TraceConfig {
             }
         }
         let record = &self.records[self.cursor];
-        let mut data = record.data.clone();
-        if data.len() >= simnet_net::ETHERNET_HEADER_LEN {
-            set_destination(&mut data, self.rewrite_dst);
+        // One copy of the record bytes straight into a pooled buffer —
+        // no per-replay `Vec` clone.
+        let mut packet = Packet::copy_from_slice(id, &record.data);
+        if packet.len() >= simnet_net::ETHERNET_HEADER_LEN {
+            set_destination(packet.bytes_mut(), self.rewrite_dst);
         }
-        let packet = Packet::from_bytes(id, data);
 
         let next_cursor = self.cursor + 1;
         let interval = match self.pacing {

@@ -13,6 +13,8 @@
 //! * [`ethernet`] — Ethernet II framing.
 //! * [`ipv4`] / [`udp`] — minimal L3/L4 headers with checksums.
 //! * [`packet`] — the [`Packet`] buffer and [`PacketBuilder`].
+//! * [`pool`] — the DPDK-mempool-style recycled buffer arena backing
+//!   [`Packet`] storage.
 //! * [`timestamp`] — the load generator's in-payload timestamps (§IV).
 //! * [`pcap`] — PCAP file reading/writing (tcpdump/dpdk-pdump stand-in).
 //! * [`proto`] — application protocols (memcached-over-UDP).
@@ -23,6 +25,7 @@ pub mod ipv4;
 pub mod mac;
 pub mod packet;
 pub mod pcap;
+pub mod pool;
 pub mod proto;
 pub mod tcp;
 pub mod timestamp;

@@ -3,6 +3,7 @@
 use crate::ethernet::{macswap, EtherType, EthernetHeader, ETHERNET_HEADER_LEN, MAX_FRAME_LEN};
 use crate::ipv4::{Ipv4Addr, Ipv4Header, IPV4_HEADER_LEN, PROTO_UDP};
 use crate::mac::MacAddr;
+use crate::pool::PktBuf;
 use crate::udp::{UdpHeader, UDP_HEADER_LEN};
 
 /// A network packet: a unique id plus the raw frame bytes.
@@ -10,6 +11,13 @@ use crate::udp::{UdpHeader, UDP_HEADER_LEN};
 /// The id survives forwarding (TestPMD sends back the same buffer), which is
 /// how `EtherLoadGen` correlates an echoed packet with its transmit record
 /// to compute round-trip latency.
+///
+/// Storage is mempool-backed (see [`crate::pool`]): every frame lives in
+/// a recycled class buffer behind a reference-counted [`PktBuf`], so the
+/// whole handle is 16 bytes — half the old `Vec<u8>` representation —
+/// and events, FIFOs and rings move packets without touching the frame
+/// bytes. Cloning bumps a refcount, never allocates, and mutation of a
+/// shared frame is clone-on-write.
 ///
 /// ```
 /// use simnet_net::{Packet, PacketBuilder, EtherType, MacAddr};
@@ -23,16 +31,52 @@ use crate::udp::{UdpHeader, UDP_HEADER_LEN};
 /// assert_eq!(pkt.id(), 7);
 /// assert_eq!(pkt.ethernet().unwrap().dst, MacAddr::simulated(1));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Packet {
     id: u64,
-    data: Vec<u8>,
+    buf: PktBuf,
 }
 
+impl std::fmt::Debug for Packet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Packet")
+            .field("id", &self.id)
+            .field("data", &self.bytes())
+            .finish()
+    }
+}
+
+impl PartialEq for Packet {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && self.bytes() == other.bytes()
+    }
+}
+
+impl Eq for Packet {}
+
 impl Packet {
-    /// Wraps raw frame bytes as a packet.
+    /// Allocates a packet of `len` zeroed bytes from the pool.
+    pub fn zeroed(id: u64, len: usize) -> Self {
+        Self {
+            id,
+            buf: PktBuf::alloc_zeroed(len),
+        }
+    }
+
+    /// Allocates a packet holding a copy of `bytes` — the zero-churn way
+    /// to build a frame from existing bytes (one copy straight into a
+    /// recycled buffer, no intermediate `Vec`).
+    pub fn copy_from_slice(id: u64, bytes: &[u8]) -> Self {
+        Self {
+            id,
+            buf: PktBuf::copy_from(bytes),
+        }
+    }
+
+    /// Wraps raw frame bytes as a packet (copies them into pooled
+    /// storage).
     pub fn from_bytes(id: u64, data: Vec<u8>) -> Self {
-        Self { id, data }
+        Self::copy_from_slice(id, &data)
     }
 
     /// The packet's unique id.
@@ -42,32 +86,40 @@ impl Packet {
 
     /// Frame length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.buf.len()
     }
 
     /// Whether the frame is empty (never true for built packets).
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
     }
 
     /// The frame bytes.
     pub fn bytes(&self) -> &[u8] {
-        &self.data
+        self.buf.bytes()
     }
 
-    /// Mutable frame bytes.
+    /// Mutable frame bytes. If the storage is shared with another
+    /// handle, the bytes are first copied into a fresh buffer
+    /// (clone-on-write); a uniquely owned frame mutates in place.
     pub fn bytes_mut(&mut self) -> &mut [u8] {
-        &mut self.data
+        self.buf.bytes_mut()
+    }
+
+    /// Whether this packet shares its buffer with another handle (COW
+    /// would copy on the next mutation).
+    pub fn is_shared(&self) -> bool {
+        self.buf.ref_count() > 1
     }
 
     /// Consumes the packet, returning the frame bytes.
     pub fn into_bytes(self) -> Vec<u8> {
-        self.data
+        self.bytes().to_vec()
     }
 
     /// Parses the Ethernet header, if the frame is long enough.
     pub fn ethernet(&self) -> Option<EthernetHeader> {
-        EthernetHeader::parse(&self.data)
+        EthernetHeader::parse(self.bytes())
     }
 
     /// Swaps source/destination MACs (testpmd `macswap` mode).
@@ -76,15 +128,16 @@ impl Packet {
     ///
     /// Panics if the frame is shorter than an Ethernet header.
     pub fn macswap(&mut self) {
-        macswap(&mut self.data);
+        macswap(self.bytes_mut());
     }
 
     /// The L2 payload (bytes after the Ethernet header).
     pub fn l2_payload(&self) -> &[u8] {
-        if self.data.len() <= ETHERNET_HEADER_LEN {
+        let data = self.bytes();
+        if data.len() <= ETHERNET_HEADER_LEN {
             &[]
         } else {
-            &self.data[ETHERNET_HEADER_LEN..]
+            &data[ETHERNET_HEADER_LEN..]
         }
     }
 
@@ -211,22 +264,44 @@ impl PacketBuilder {
     /// Panics if a requested `frame_len` cannot hold the headers and
     /// payload, or exceeds [`MAX_FRAME_LEN`].
     pub fn build(&self, id: u64) -> Packet {
+        self.build_with(id, self.payload.len(), |buf| {
+            buf.copy_from_slice(&self.payload);
+        })
+    }
+
+    /// Builds a packet whose payload is written in place by `fill`
+    /// (called with the zeroed `payload_len`-byte payload region), so the
+    /// caller encodes straight into pooled storage with no staging
+    /// buffer. Any payload set via [`PacketBuilder::payload`] is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a requested `frame_len` cannot hold the headers plus
+    /// `payload_len`, or exceeds [`MAX_FRAME_LEN`].
+    pub fn build_with(
+        &self,
+        id: u64,
+        payload_len: usize,
+        fill: impl FnOnce(&mut [u8]),
+    ) -> Packet {
         let header_len = ETHERNET_HEADER_LEN
             + if self.udp.is_some() {
                 IPV4_HEADER_LEN + UDP_HEADER_LEN
             } else {
                 0
             };
-        let natural = header_len + self.payload.len();
+        let natural = header_len + payload_len;
         let total = self.frame_len.unwrap_or(natural);
         assert!(
             total >= natural,
-            "frame_len {total} cannot hold {header_len}B headers + {}B payload",
-            self.payload.len()
+            "frame_len {total} cannot hold {header_len}B headers + {payload_len}B payload"
         );
         assert!(total <= MAX_FRAME_LEN, "frame_len {total} exceeds 1518");
 
-        let mut data = vec![0u8; total];
+        // Straight into pooled storage: building a frame costs no heap
+        // allocation on the hot path.
+        let mut packet = Packet::zeroed(id, total);
+        let data = packet.bytes_mut();
         let ethertype = if self.udp.is_some() {
             EtherType::Ipv4
         } else {
@@ -237,7 +312,7 @@ impl PacketBuilder {
             src: self.src,
             ethertype,
         }
-        .write(&mut data);
+        .write(data);
 
         if let Some(udp) = &self.udp {
             // Padding counts as UDP payload so parsers see consistent lengths.
@@ -251,7 +326,7 @@ impl PacketBuilder {
             ip.write(&mut data[ETHERNET_HEADER_LEN..]);
             let l4_start = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN;
             let payload_start = l4_start + UDP_HEADER_LEN;
-            data[payload_start..payload_start + self.payload.len()].copy_from_slice(&self.payload);
+            fill(&mut data[payload_start..payload_start + payload_len]);
             let header = UdpHeader::new(udp.src_port, udp.dst_port, udp_payload_len);
             // Two-phase: write payload first, then checksum over it.
             let (head, tail) = data.split_at_mut(payload_start);
@@ -260,10 +335,9 @@ impl PacketBuilder {
                 Some((udp.src_ip, udp.dst_ip, &tail[..udp_payload_len])),
             );
         } else {
-            data[ETHERNET_HEADER_LEN..ETHERNET_HEADER_LEN + self.payload.len()]
-                .copy_from_slice(&self.payload);
+            fill(&mut data[ETHERNET_HEADER_LEN..ETHERNET_HEADER_LEN + payload_len]);
         }
-        Packet::from_bytes(id, data)
+        packet
     }
 }
 

@@ -11,11 +11,36 @@
 //!
 //! Requests must fit one UDP datagram (the paper replays single-datagram
 //! UDP traces; multi-datagram responses are out of scope and rejected).
+//!
+//! [`Request`] and [`Response`] borrow their key/value bytes, and the
+//! `*_into` encoders write straight into a caller-provided buffer (the
+//! pooled packet's payload region), so a request/response round trip
+//! allocates nothing on the hot path.
 
 /// Canonical name of the `i`-th key in the benchmark key space — shared by
 /// the server warm-up and the load-generator client so GETs hit.
 pub fn nth_key(i: u64) -> Vec<u8> {
     format!("key:{i:012}").into_bytes()
+}
+
+/// Byte length of every [`nth_key`] name (for `i < 10^12`).
+pub const NTH_KEY_LEN: usize = 16;
+
+/// Writes the `i`-th key name into a stack buffer — the allocation-free
+/// twin of [`nth_key`], for the load generator's request path.
+///
+/// # Panics
+///
+/// Panics if `i` needs more than 12 digits (outside every benchmark
+/// key space; [`nth_key`] widens instead).
+pub fn nth_key_into(i: u64, buf: &mut [u8; NTH_KEY_LEN]) {
+    assert!(i < 1_000_000_000_000, "key index {i} exceeds 12 digits");
+    buf[..4].copy_from_slice(b"key:");
+    let mut v = i;
+    for slot in buf[4..].iter_mut().rev() {
+        *slot = b'0' + (v % 10) as u8;
+        v /= 10;
+    }
 }
 
 /// The memcached UDP frame header prepended to every datagram.
@@ -68,30 +93,32 @@ impl UdpFrameHeader {
     }
 }
 
-/// A memcached request.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Request {
+/// A memcached request, borrowing its key/value bytes from the decoded
+/// datagram (or the caller's staging buffer on the encode side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request<'a> {
     /// Fetch the value stored under `key`.
     Get {
         /// The key to look up.
-        key: Vec<u8>,
+        key: &'a [u8],
     },
     /// Store `value` under `key`.
     Set {
         /// The key to store under.
-        key: Vec<u8>,
+        key: &'a [u8],
         /// The value to store.
-        value: Vec<u8>,
+        value: &'a [u8],
     },
 }
 
-/// A memcached response.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Response {
+/// A memcached response, borrowing the value bytes (for a GET hit,
+/// straight from the server's store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Response<'a> {
     /// GET hit with the stored value.
     Hit {
         /// The stored value.
-        value: Vec<u8>,
+        value: &'a [u8],
     },
     /// GET miss.
     Miss,
@@ -125,9 +152,9 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-impl Request {
+impl<'a> Request<'a> {
     /// The request's key.
-    pub fn key(&self) -> &[u8] {
+    pub fn key(&self) -> &'a [u8] {
         match self {
             Request::Get { key } => key,
             Request::Set { key, .. } => key,
@@ -142,33 +169,45 @@ impl Request {
         }
     }
 
-    /// Encodes to bytes.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(self.encoded_len());
-        match self {
+    /// Encodes into the start of `buf`, returning the encoded length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`Request::encoded_len`].
+    pub fn encode_into(&self, buf: &mut [u8]) -> usize {
+        let len = self.encoded_len();
+        assert!(buf.len() >= len, "buffer too short for request");
+        let (key, value): (&[u8], &[u8]) = match self {
             Request::Get { key } => {
-                buf.push(OP_GET);
-                buf.extend_from_slice(&(key.len() as u16).to_be_bytes());
-                buf.extend_from_slice(&0u32.to_be_bytes());
-                buf.extend_from_slice(key);
+                buf[0] = OP_GET;
+                (key, &[])
             }
             Request::Set { key, value } => {
-                buf.push(OP_SET);
-                buf.extend_from_slice(&(key.len() as u16).to_be_bytes());
-                buf.extend_from_slice(&(value.len() as u32).to_be_bytes());
-                buf.extend_from_slice(key);
-                buf.extend_from_slice(value);
+                buf[0] = OP_SET;
+                (key, value)
             }
-        }
+        };
+        buf[1..3].copy_from_slice(&(key.len() as u16).to_be_bytes());
+        buf[3..7].copy_from_slice(&(value.len() as u32).to_be_bytes());
+        buf[7..7 + key.len()].copy_from_slice(key);
+        buf[7 + key.len()..len].copy_from_slice(value);
+        len
+    }
+
+    /// Encodes to freshly allocated bytes (tests and cold paths; the hot
+    /// path uses [`Request::encode_into`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; self.encoded_len()];
+        self.encode_into(&mut buf);
         buf
     }
 
-    /// Decodes from bytes.
+    /// Decodes from bytes, borrowing the key/value from `data`.
     ///
     /// # Errors
     ///
     /// Returns [`DecodeError`] for truncated input or unknown opcodes.
-    pub fn decode(data: &[u8]) -> Result<Self, DecodeError> {
+    pub fn decode(data: &'a [u8]) -> Result<Self, DecodeError> {
         if data.len() < 7 {
             return Err(DecodeError::Truncated);
         }
@@ -179,19 +218,19 @@ impl Request {
         if body.len() < key_len + value_len {
             return Err(DecodeError::Truncated);
         }
-        let key = body[..key_len].to_vec();
+        let key = &body[..key_len];
         match op {
             OP_GET => Ok(Request::Get { key }),
             OP_SET => Ok(Request::Set {
                 key,
-                value: body[key_len..key_len + value_len].to_vec(),
+                value: &body[key_len..key_len + value_len],
             }),
             other => Err(DecodeError::BadOpcode(other)),
         }
     }
 }
 
-impl Response {
+impl<'a> Response<'a> {
     /// Encoded length.
     pub fn encoded_len(&self) -> usize {
         5 + match self {
@@ -200,33 +239,46 @@ impl Response {
         }
     }
 
-    /// Encodes to bytes.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(self.encoded_len());
+    /// Encodes into the start of `buf`, returning the encoded length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`Response::encoded_len`].
+    pub fn encode_into(&self, buf: &mut [u8]) -> usize {
+        let len = self.encoded_len();
+        assert!(buf.len() >= len, "buffer too short for response");
         match self {
             Response::Hit { value } => {
-                buf.push(OP_HIT);
-                buf.extend_from_slice(&(value.len() as u32).to_be_bytes());
-                buf.extend_from_slice(value);
+                buf[0] = OP_HIT;
+                buf[1..5].copy_from_slice(&(value.len() as u32).to_be_bytes());
+                buf[5..len].copy_from_slice(value);
             }
             Response::Miss => {
-                buf.push(OP_MISS);
-                buf.extend_from_slice(&0u32.to_be_bytes());
+                buf[0] = OP_MISS;
+                buf[1..5].fill(0);
             }
             Response::Stored => {
-                buf.push(OP_STORED);
-                buf.extend_from_slice(&0u32.to_be_bytes());
+                buf[0] = OP_STORED;
+                buf[1..5].fill(0);
             }
         }
+        len
+    }
+
+    /// Encodes to freshly allocated bytes (tests and cold paths; the hot
+    /// path uses [`Response::encode_into`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; self.encoded_len()];
+        self.encode_into(&mut buf);
         buf
     }
 
-    /// Decodes from bytes.
+    /// Decodes from bytes, borrowing a hit's value from `data`.
     ///
     /// # Errors
     ///
     /// Returns [`DecodeError`] for truncated input or unknown opcodes.
-    pub fn decode(data: &[u8]) -> Result<Self, DecodeError> {
+    pub fn decode(data: &'a [u8]) -> Result<Self, DecodeError> {
         if data.len() < 5 {
             return Err(DecodeError::Truncated);
         }
@@ -238,7 +290,7 @@ impl Response {
                     return Err(DecodeError::Truncated);
                 }
                 Ok(Response::Hit {
-                    value: body[..value_len].to_vec(),
+                    value: &body[..value_len],
                 })
             }
             OP_MISS => Ok(Response::Miss),
@@ -248,19 +300,55 @@ impl Response {
     }
 }
 
+/// Wire length of a full request datagram (frame header + request).
+pub fn request_datagram_len(request: &Request<'_>) -> usize {
+    UDP_FRAME_HEADER_LEN + request.encoded_len()
+}
+
+/// Wire length of a full response datagram (frame header + response).
+pub fn response_datagram_len(response: &Response<'_>) -> usize {
+    UDP_FRAME_HEADER_LEN + response.encoded_len()
+}
+
+/// Encodes a full request datagram into `buf`, returning its length.
+///
+/// # Panics
+///
+/// Panics if `buf` is shorter than [`request_datagram_len`].
+pub fn encode_request_datagram_into(
+    buf: &mut [u8],
+    request_id: u16,
+    request: &Request<'_>,
+) -> usize {
+    UdpFrameHeader::single(request_id).write(buf);
+    UDP_FRAME_HEADER_LEN + request.encode_into(&mut buf[UDP_FRAME_HEADER_LEN..])
+}
+
+/// Encodes a full response datagram into `buf`, returning its length.
+///
+/// # Panics
+///
+/// Panics if `buf` is shorter than [`response_datagram_len`].
+pub fn encode_response_datagram_into(
+    buf: &mut [u8],
+    request_id: u16,
+    response: &Response<'_>,
+) -> usize {
+    UdpFrameHeader::single(request_id).write(buf);
+    UDP_FRAME_HEADER_LEN + response.encode_into(&mut buf[UDP_FRAME_HEADER_LEN..])
+}
+
 /// Encodes a full memcached UDP datagram payload: frame header + request.
-pub fn encode_request_datagram(request_id: u16, request: &Request) -> Vec<u8> {
-    let mut buf = vec![0u8; UDP_FRAME_HEADER_LEN];
-    UdpFrameHeader::single(request_id).write(&mut buf);
-    buf.extend_from_slice(&request.encode());
+pub fn encode_request_datagram(request_id: u16, request: &Request<'_>) -> Vec<u8> {
+    let mut buf = vec![0u8; request_datagram_len(request)];
+    encode_request_datagram_into(&mut buf, request_id, request);
     buf
 }
 
 /// Encodes a full memcached UDP datagram payload: frame header + response.
-pub fn encode_response_datagram(request_id: u16, response: &Response) -> Vec<u8> {
-    let mut buf = vec![0u8; UDP_FRAME_HEADER_LEN];
-    UdpFrameHeader::single(request_id).write(&mut buf);
-    buf.extend_from_slice(&response.encode());
+pub fn encode_response_datagram(request_id: u16, response: &Response<'_>) -> Vec<u8> {
+    let mut buf = vec![0u8; response_datagram_len(response)];
+    encode_response_datagram_into(&mut buf, request_id, response);
     buf
 }
 
@@ -269,7 +357,7 @@ pub fn encode_response_datagram(request_id: u16, response: &Response) -> Vec<u8>
 /// # Errors
 ///
 /// Returns [`DecodeError::Truncated`] if the frame header is incomplete.
-pub fn decode_request_datagram(data: &[u8]) -> Result<(UdpFrameHeader, Request), DecodeError> {
+pub fn decode_request_datagram(data: &[u8]) -> Result<(UdpFrameHeader, Request<'_>), DecodeError> {
     let header = UdpFrameHeader::parse(data).ok_or(DecodeError::Truncated)?;
     let request = Request::decode(&data[UDP_FRAME_HEADER_LEN..])?;
     Ok((header, request))
@@ -280,7 +368,9 @@ pub fn decode_request_datagram(data: &[u8]) -> Result<(UdpFrameHeader, Request),
 /// # Errors
 ///
 /// Returns [`DecodeError::Truncated`] if the frame header is incomplete.
-pub fn decode_response_datagram(data: &[u8]) -> Result<(UdpFrameHeader, Response), DecodeError> {
+pub fn decode_response_datagram(
+    data: &[u8],
+) -> Result<(UdpFrameHeader, Response<'_>), DecodeError> {
     let header = UdpFrameHeader::parse(data).ok_or(DecodeError::Truncated)?;
     let response = Response::decode(&data[UDP_FRAME_HEADER_LEN..])?;
     Ok((header, response))
@@ -300,10 +390,17 @@ mod tests {
     }
 
     #[test]
+    fn nth_key_into_matches_nth_key() {
+        for i in [0u64, 1, 42, 4_999, 999_999_999_999] {
+            let mut buf = [0u8; NTH_KEY_LEN];
+            nth_key_into(i, &mut buf);
+            assert_eq!(&buf[..], &nth_key(i)[..], "i={i}");
+        }
+    }
+
+    #[test]
     fn get_round_trip() {
-        let req = Request::Get {
-            key: b"user:1234".to_vec(),
-        };
+        let req = Request::Get { key: b"user:1234" };
         let encoded = req.encode();
         assert_eq!(encoded.len(), req.encoded_len());
         assert_eq!(Request::decode(&encoded).unwrap(), req);
@@ -311,9 +408,10 @@ mod tests {
 
     #[test]
     fn set_round_trip() {
+        let value = vec![7u8; 100];
         let req = Request::Set {
-            key: b"k".to_vec(),
-            value: vec![7u8; 100],
+            key: b"k",
+            value: &value,
         };
         assert_eq!(Request::decode(&req.encode()).unwrap(), req);
     }
@@ -321,9 +419,7 @@ mod tests {
     #[test]
     fn response_round_trips() {
         for resp in [
-            Response::Hit {
-                value: vec![1, 2, 3],
-            },
+            Response::Hit { value: &[1, 2, 3] },
             Response::Miss,
             Response::Stored,
         ] {
@@ -335,8 +431,8 @@ mod tests {
     fn truncated_inputs_error() {
         assert_eq!(Request::decode(&[]), Err(DecodeError::Truncated));
         let req = Request::Set {
-            key: b"key".to_vec(),
-            value: b"value".to_vec(),
+            key: b"key",
+            value: b"value",
         };
         let encoded = req.encode();
         assert_eq!(
@@ -348,23 +444,24 @@ mod tests {
 
     #[test]
     fn bad_opcode_errors() {
-        let mut encoded = Request::Get { key: vec![] }.encode();
+        let mut encoded = Request::Get { key: &[] }.encode();
         encoded[0] = 0x77;
         assert_eq!(Request::decode(&encoded), Err(DecodeError::BadOpcode(0x77)));
     }
 
     #[test]
     fn datagram_round_trip() {
-        let req = Request::Get {
-            key: b"hotkey".to_vec(),
-        };
+        let req = Request::Get { key: b"hotkey" };
         let dgram = encode_request_datagram(42, &req);
+        assert_eq!(dgram.len(), request_datagram_len(&req));
         let (h, decoded) = decode_request_datagram(&dgram).unwrap();
         assert_eq!(h.request_id, 42);
         assert_eq!(decoded, req);
 
-        let resp = Response::Hit { value: vec![9; 50] };
+        let value = vec![9u8; 50];
+        let resp = Response::Hit { value: &value };
         let dgram = encode_response_datagram(42, &resp);
+        assert_eq!(dgram.len(), response_datagram_len(&resp));
         let (h, decoded) = decode_response_datagram(&dgram).unwrap();
         assert_eq!(h.request_id, 42);
         assert_eq!(decoded, resp);

@@ -177,13 +177,14 @@ pub fn build_tcp_frame(
 
     let natural = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN + payload.len();
     let total = natural.max(MIN_FRAME_LEN);
-    let mut data = vec![0u8; total];
+    let mut packet = crate::Packet::zeroed(id, total);
+    let data = packet.bytes_mut();
     EthernetHeader {
         dst: dst_mac,
         src: src_mac,
         ethertype: EtherType::Ipv4,
     }
-    .write(&mut data);
+    .write(data);
     Ipv4Header::new(src_ip, dst_ip, PROTO_TCP, TCP_HEADER_LEN + payload.len())
         .write(&mut data[ETHERNET_HEADER_LEN..]);
     let l4 = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN;
@@ -193,7 +194,7 @@ pub fn build_tcp_frame(
         &mut head[l4..],
         Some((src_ip, dst_ip, &tail[..payload.len()])),
     );
-    crate::Packet::from_bytes(id, data)
+    packet
 }
 
 /// Parses a frame as TCP-in-IPv4: returns `(ip, tcp, payload)` with the

@@ -28,9 +28,15 @@ pub trait PacketApp {
 
     /// Processes one received packet. `mbuf_addr` is the simulated
     /// physical address of the packet data (for payload touch ops).
+    ///
+    /// The completion is passed **by value**: the application takes
+    /// unique ownership of the packet handle, so a forwarding app can
+    /// mutate and re-emit the same pooled buffer without any copy
+    /// (DPDK's zero-copy mbuf handoff). Apps that only need to read the
+    /// frame can still borrow from the completion before deciding.
     fn on_packet(
         &mut self,
-        packet: &RxCompletion,
+        packet: RxCompletion,
         mbuf_addr: simnet_mem::Addr,
         ops: &mut Vec<Op>,
     ) -> AppAction;

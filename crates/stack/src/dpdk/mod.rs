@@ -236,10 +236,11 @@ impl DpdkStack {
         }
 
         for completion in completions {
+            let slot = completion.slot;
             self.tracer
                 .emit(now, completion.packet.id(), Component::Stack, Stage::SwRx);
-            let mbuf_addr = layout::mbuf_addr(completion.slot);
-            ops.push(Op::Load(layout::rx_desc_addr(completion.slot, ring)));
+            let mbuf_addr = layout::mbuf_addr(slot);
+            ops.push(Op::Load(layout::rx_desc_addr(slot, ring)));
             ops.push(Op::Compute(self.costs.per_rx_packet));
             self.ws.emit_loads(&mut ops, self.costs.ws_loads_per_packet);
             if !self.hugepages {
@@ -255,17 +256,16 @@ impl DpdkStack {
 
             self.tracer
                 .emit(now, completion.packet.id(), Component::App, Stage::AppRx);
-            match app.on_packet(&completion, mbuf_addr, &mut ops) {
+            // The completion moves into the app: a forwarding app owns
+            // the pooled buffer uniquely and mutates it in place.
+            match app.on_packet(completion, mbuf_addr, &mut ops) {
                 AppAction::Forward(packet) => {
                     ops.push(Op::Compute(self.costs.per_tx_packet));
                     ops.push(Op::Store(layout::tx_desc_addr(tx_slot_cursor, tx_ring)));
                     tx_slot_cursor += 1;
                     self.tracer
                         .emit(now, packet.id(), Component::App, Stage::AppTx);
-                    tx_requests.push(TxRequest {
-                        packet,
-                        mbuf: completion.slot,
-                    });
+                    tx_requests.push(TxRequest { packet, mbuf: slot });
                 }
                 AppAction::Respond(packet) => {
                     let mbuf = self.mempool.alloc_cyclic();
@@ -325,12 +325,12 @@ mod tests {
         }
         fn on_packet(
             &mut self,
-            completion: &RxCompletion,
+            completion: RxCompletion,
             _mbuf: simnet_mem::Addr,
             ops: &mut Vec<Op>,
         ) -> AppAction {
             ops.push(Op::Compute(10));
-            let mut pkt = completion.packet.clone();
+            let mut pkt = completion.packet;
             pkt.macswap();
             AppAction::Forward(pkt)
         }

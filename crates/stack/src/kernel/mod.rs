@@ -90,6 +90,8 @@ pub struct KernelStack {
     user_cursor: u64,
     tx_mbuf_cursor: usize,
     tx_backlog: Vec<TxRequest>,
+    /// Reused op-stream buffer (allocation-free steady state).
+    ops: Vec<Op>,
     tracer: Tracer,
     stats: StackStats,
 }
@@ -113,6 +115,7 @@ impl KernelStack {
             user_cursor: 0,
             tx_mbuf_cursor: 0,
             tx_backlog: Vec::new(),
+            ops: Vec::new(),
             tracer: Tracer::disabled(),
             stats: StackStats::default(),
         }
@@ -187,7 +190,8 @@ impl KernelStack {
         mem: &mut MemorySystem,
         app: &mut dyn PacketApp,
     ) -> Iteration {
-        let mut ops: Vec<Op> = Vec::with_capacity(512);
+        let mut ops = std::mem::take(&mut self.ops);
+        ops.clear();
 
         // Retry any TX the ring rejected before taking new work.
         if !self.tx_backlog.is_empty() {
@@ -196,6 +200,7 @@ impl KernelStack {
             self.tx_backlog = rejected;
             ops.push(Op::Compute(300));
             let end = core.execute(now, &ops, mem);
+            self.ops = ops;
             return Iteration {
                 end,
                 rx: 0,
@@ -230,6 +235,7 @@ impl KernelStack {
             app.on_idle(&mut ops);
             ops.push(Op::Compute(50));
             let end = core.execute(now, &ops, mem);
+            self.ops = ops;
             return Iteration {
                 end,
                 rx: 0,
@@ -268,7 +274,7 @@ impl KernelStack {
             // The application works on the *user-space copy*.
             self.tracer
                 .emit(now, completion.packet.id(), Component::App, Stage::AppRx);
-            match app.on_packet(&completion, user, &mut ops) {
+            match app.on_packet(completion, user, &mut ops) {
                 AppAction::Consume => {}
                 AppAction::Forward(packet) | AppAction::Respond(packet) => {
                     // send syscall: copy user -> skb, then driver TX.
@@ -289,6 +295,7 @@ impl KernelStack {
 
         let tx_count = tx_requests.len();
         let end = core.execute(now, &ops, mem);
+        self.ops = ops;
         if tx_count > 0 {
             let (_, rejected) = nic.tx_submit(end, tx_requests);
             self.tx_backlog = rejected;
@@ -317,7 +324,7 @@ mod tests {
         fn name(&self) -> &'static str {
             "sink"
         }
-        fn on_packet(&mut self, _c: &RxCompletion, _buf: Addr, ops: &mut Vec<Op>) -> AppAction {
+        fn on_packet(&mut self, _c: RxCompletion, _buf: Addr, ops: &mut Vec<Op>) -> AppAction {
             ops.push(Op::Compute(50));
             AppAction::Consume
         }
@@ -328,8 +335,8 @@ mod tests {
         fn name(&self) -> &'static str {
             "responder"
         }
-        fn on_packet(&mut self, c: &RxCompletion, _buf: Addr, _ops: &mut Vec<Op>) -> AppAction {
-            let mut pkt = c.packet.clone();
+        fn on_packet(&mut self, c: RxCompletion, _buf: Addr, _ops: &mut Vec<Op>) -> AppAction {
+            let mut pkt = c.packet;
             pkt.macswap();
             AppAction::Respond(pkt)
         }
