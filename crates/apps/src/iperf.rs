@@ -242,8 +242,7 @@ mod tests {
         let mut app = IperfTcp::new();
         let syn = TcpHeader::new(40_001, 5_001, 1_000, 0, flags::SYN, 0xFFFF);
         let mut ops = Vec::new();
-        let AppAction::Respond(reply) = app.on_packet(tcp_completion(syn, &[]), 0, &mut ops)
-        else {
+        let AppAction::Respond(reply) = app.on_packet(tcp_completion(syn, &[]), 0, &mut ops) else {
             panic!("SYN gets a reply");
         };
         let (_, h, _) = parse_tcp_frame(&reply).unwrap();
@@ -273,11 +272,9 @@ mod tests {
 
         // A hole: segment at 1301 while 1101 is expected -> duplicate ACK.
         let seg_hole = TcpHeader::new(40_001, 5_001, 1_301, 0, flags::ACK | flags::PSH, 0xFFFF);
-        let AppAction::Respond(dup) = app.on_packet(
-            tcp_completion(seg_hole, &[9u8; 100]),
-            0x5000_0000,
-            &mut ops,
-        ) else {
+        let AppAction::Respond(dup) =
+            app.on_packet(tcp_completion(seg_hole, &[9u8; 100]), 0x5000_0000, &mut ops)
+        else {
             panic!("holes get duplicate ACKs");
         };
         let (_, hd, _) = parse_tcp_frame(&dup).unwrap();
@@ -287,11 +284,7 @@ mod tests {
 
         // The retransmission fills the hole.
         let seg_fill = TcpHeader::new(40_001, 5_001, 1_101, 0, flags::ACK | flags::PSH, 0xFFFF);
-        app.on_packet(
-            tcp_completion(seg_fill, &[9u8; 100]),
-            0x5000_0000,
-            &mut ops,
-        );
+        app.on_packet(tcp_completion(seg_fill, &[9u8; 100]), 0x5000_0000, &mut ops);
         assert_eq!(app.bytes(), 200);
     }
 

@@ -259,10 +259,7 @@ mod tests {
     #[test]
     fn get_missing_key_is_a_miss() {
         let mut app = MemcachedDpdk::new(warmed_store());
-        let completion = request_packet(
-            1,
-            &Request::Get { key: b"not-a-key" },
-        );
+        let completion = request_packet(1, &Request::Get { key: b"not-a-key" });
         let mut ops = Vec::new();
         let AppAction::Respond(reply) = app.on_packet(completion, 0, &mut ops) else {
             panic!("respond");

@@ -6,7 +6,7 @@
 //!                              fig18|fig19|fig20|headline|fault-matrix]
 //! repro [--trace PATH] [--trace-filter COMPONENTS] [--trace-gbps G]
 //!       [--stats-out FILE] [--stats-interval US] [--profile]
-//!       [--faults PLAN] [--fault-seed N]
+//!       [--faults PLAN] [--fault-seed N] [--burst N] [--frame BYTES]
 //! ```
 //!
 //! Results print as tables and are written as CSVs under `--out`
@@ -26,6 +26,14 @@
 //!   `.csv`.
 //! * `--profile` attaches the simulator self-profiler and prints the
 //!   per-event-kind host-time table after the run.
+//!
+//! `--burst N` sets the wire-delivery coalescing factor of the
+//! single-point run (default 32): up to `N` deliveries per direction ride
+//! the event queue as one burst event. `--burst 1` runs the exact scalar
+//! event schedule — by construction both settings produce byte-identical
+//! traces, stats, and summaries. `--frame BYTES` picks the frame size of
+//! the single-point run (default 1518; `--frame 64` reproduces the
+//! small-frame knee).
 //!
 //! `--faults PLAN` installs a deterministic fault plan for the run
 //! (grammar: `link.ber=1e-7;pci.stall=200ns@10%;dma.burst=+500ns/1us`; see
@@ -112,6 +120,8 @@ struct PointMode {
     stats_path: Option<PathBuf>,
     stats_interval_us: u64,
     profile: bool,
+    burst: usize,
+    frame: usize,
 }
 
 fn write_file(path: &PathBuf, contents: &str) -> Result<(), ExitCode> {
@@ -143,13 +153,17 @@ fn run_point_mode(mode: &PointMode, offered_gbps: f64, faults: FaultInjector) ->
         );
     }
     println!(
-        "observing {} @ {offered_gbps:.1} Gbps (1518 B frames, fast phases)",
-        spec.label()
+        "observing {} @ {offered_gbps:.1} Gbps ({} B frames, fast phases)",
+        spec.label(),
+        mode.frame
     );
+    if mode.burst != 1 {
+        println!("burst transport: up to {} deliveries per event", mode.burst);
+    }
     let run = run_observed(
         &cfg,
         &spec,
-        1518,
+        mode.frame,
         offered_gbps,
         rc,
         ObserveOpts {
@@ -160,6 +174,7 @@ fn run_point_mode(mode: &PointMode, offered_gbps: f64, faults: FaultInjector) ->
                 .as_ref()
                 .map(|_| tick::us(mode.stats_interval_us.max(1))),
             profile: mode.profile,
+            burst: mode.burst,
         },
     );
 
@@ -294,6 +309,8 @@ fn main() -> ExitCode {
     let mut profile = false;
     let mut fault_plan: Option<FaultPlan> = None;
     let mut fault_seed = 42u64;
+    let mut burst = simnet_net::BURST_INLINE;
+    let mut frame = 1518usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -346,6 +363,20 @@ fn main() -> ExitCode {
                 }
             },
             "--profile" => profile = true,
+            "--burst" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n > 0 => burst = n,
+                _ => {
+                    eprintln!("--burst requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--frame" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if (64..=9000).contains(&n) => frame = n,
+                _ => {
+                    eprintln!("--frame requires a frame size in bytes (64..=9000)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--faults" => match args.next().as_deref().map(FaultPlan::parse) {
                 Some(Ok(plan)) => fault_plan = Some(plan),
                 Some(Err(e)) => {
@@ -369,7 +400,7 @@ fn main() -> ExitCode {
                     "usage: repro [--quick] [--out DIR] [all|{}]\n\
                      \x20      repro [--trace PATH] [--trace-filter COMPONENTS] [--trace-gbps G]\n\
                      \x20            [--stats-out FILE] [--stats-interval US] [--profile]\n\
-                     \x20            [--faults PLAN] [--fault-seed N]",
+                     \x20            [--faults PLAN] [--fault-seed N] [--burst N] [--frame BYTES]",
                     EXPERIMENTS.join("|")
                 );
                 return ExitCode::SUCCESS;
@@ -389,6 +420,8 @@ fn main() -> ExitCode {
             stats_path,
             stats_interval_us,
             profile,
+            burst,
+            frame,
         };
         return run_point_mode(&mode, trace_gbps, faults);
     }

@@ -17,6 +17,7 @@
 //! [`ObserveOpts`]. All observation is passive — a run with every layer
 //! enabled measures the same summary as a bare run.
 
+use simnet_net::burst::BURST_INLINE;
 use simnet_sim::fault::{FaultCounts, FaultInjector};
 use simnet_sim::stats::{Profiler, TimeSeries};
 use simnet_sim::trace::{canonical_text, trace_hash, Component, TraceEvent};
@@ -41,6 +42,9 @@ pub struct TraceOpts {
     /// Fault injector to install before the run starts. Use
     /// [`FaultInjector::disabled`] for a clean run.
     pub faults: FaultInjector,
+    /// Wire-delivery coalescing factor (see [`Simulation::set_burst`]);
+    /// `1` runs the exact scalar event schedule.
+    pub burst: usize,
 }
 
 impl Default for TraceOpts {
@@ -49,6 +53,7 @@ impl Default for TraceOpts {
             capacity: DEFAULT_TRACE_CAPACITY,
             mask: Component::ALL_MASK,
             faults: FaultInjector::disabled(),
+            burst: BURST_INLINE,
         }
     }
 }
@@ -80,7 +85,7 @@ impl TracedRun {
 }
 
 /// Which observability layers to attach to a [`run_observed`] point.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ObserveOpts {
     /// Packet-lifecycle tracing: `Some((capacity, mask))` enables it.
     pub trace: Option<(usize, u32)>,
@@ -91,6 +96,21 @@ pub struct ObserveOpts {
     pub stats_interval: Option<Tick>,
     /// Attach the self-profiler to the event loop.
     pub profile: bool,
+    /// Wire-delivery coalescing factor (see [`Simulation::set_burst`]);
+    /// `1` runs the exact scalar event schedule.
+    pub burst: usize,
+}
+
+impl Default for ObserveOpts {
+    fn default() -> Self {
+        ObserveOpts {
+            trace: None,
+            faults: FaultInjector::disabled(),
+            stats_interval: None,
+            profile: false,
+            burst: BURST_INLINE,
+        }
+    }
 }
 
 /// An observed measurement point: the ordinary summary plus whatever
@@ -135,6 +155,7 @@ pub fn run_observed(
     let (stack, app) = spec.instantiate(cfg.seed);
     let loadgen = spec.loadgen(cfg, size, offered);
     let mut sim = Simulation::loadgen_mode(cfg, stack, app, loadgen);
+    sim.set_burst(opts.burst);
     sim.install_faults(opts.faults);
     if let Some((capacity, mask)) = opts.trace {
         sim.enable_trace(capacity, mask);
@@ -183,8 +204,8 @@ pub fn run_traced_with(
         ObserveOpts {
             trace: Some((opts.capacity, opts.mask)),
             faults: opts.faults,
-            stats_interval: None,
-            profile: false,
+            burst: opts.burst,
+            ..Default::default()
         },
     );
     TracedRun {
@@ -215,7 +236,7 @@ pub fn run_traced(
         TraceOpts {
             capacity,
             mask,
-            faults: FaultInjector::disabled(),
+            ..Default::default()
         },
     )
 }

@@ -95,7 +95,10 @@ impl MemcachedClientConfig {
         // datagram encoded straight into the pooled frame: a request
         // costs no heap allocation.
         let mut key = [0u8; NTH_KEY_LEN];
-        nth_key_into(rng.uniform_u64(0, self.key_space.saturating_sub(1)), &mut key);
+        nth_key_into(
+            rng.uniform_u64(0, self.key_space.saturating_sub(1)),
+            &mut key,
+        );
         let request = if rng.chance(self.get_ratio) {
             Request::Get { key: &key }
         } else {

@@ -15,10 +15,13 @@
 //! * [`packet`] — the [`Packet`] buffer and [`PacketBuilder`].
 //! * [`pool`] — the DPDK-mempool-style recycled buffer arena backing
 //!   [`Packet`] storage.
+//! * [`burst`] — the [`Burst`] carrier moving batches of wire
+//!   deliveries as single events, DPDK-`rx_burst`-style.
 //! * [`timestamp`] — the load generator's in-payload timestamps (§IV).
 //! * [`pcap`] — PCAP file reading/writing (tcpdump/dpdk-pdump stand-in).
 //! * [`proto`] — application protocols (memcached-over-UDP).
 
+pub mod burst;
 pub mod checksum;
 pub mod ethernet;
 pub mod ipv4;
@@ -31,6 +34,7 @@ pub mod tcp;
 pub mod timestamp;
 pub mod udp;
 
+pub use burst::{Burst, BurstEntry, SmallVec, BURST_INLINE};
 pub use ethernet::{EtherType, EthernetHeader, ETHERNET_HEADER_LEN, MAX_FRAME_LEN, MIN_FRAME_LEN};
 pub use mac::MacAddr;
 pub use packet::{Packet, PacketBuilder};

@@ -278,12 +278,7 @@ impl PacketBuilder {
     ///
     /// Panics if a requested `frame_len` cannot hold the headers plus
     /// `payload_len`, or exceeds [`MAX_FRAME_LEN`].
-    pub fn build_with(
-        &self,
-        id: u64,
-        payload_len: usize,
-        fill: impl FnOnce(&mut [u8]),
-    ) -> Packet {
+    pub fn build_with(&self, id: u64, payload_len: usize, fill: impl FnOnce(&mut [u8])) -> Packet {
         let header_len = ETHERNET_HEADER_LEN
             + if self.udp.is_some() {
                 IPV4_HEADER_LEN + UDP_HEADER_LEN

@@ -463,7 +463,9 @@ mod tests {
     #[test]
     fn reset_rebaselines_high_water_keeps_gauges() {
         let a = PktBuf::alloc_zeroed(100);
-        let _spike = (0..8).map(|_| PktBuf::alloc_zeroed(100)).collect::<Vec<_>>();
+        let _spike = (0..8)
+            .map(|_| PktBuf::alloc_zeroed(100))
+            .collect::<Vec<_>>();
         drop(a);
         reset_stats();
         let s = stats();

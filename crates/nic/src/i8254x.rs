@@ -665,6 +665,15 @@ impl Nic {
     /// `rx_burst` device side).
     pub fn rx_poll(&mut self, now: Tick, max: usize) -> Vec<RxCompletion> {
         let mut out = Vec::new();
+        self.rx_poll_into(now, max, &mut out);
+        out
+    }
+
+    /// [`Nic::rx_poll`] into a caller-owned buffer: appends up to
+    /// `max - out.len()` completions, reusing the caller's allocation —
+    /// the form the stacks' steady-state loops use, so a descriptor
+    /// drain costs no host allocation per poll.
+    pub fn rx_poll_into(&mut self, now: Tick, max: usize, out: &mut Vec<RxCompletion>) {
         while out.len() < max {
             match self.rx_visible.front() {
                 Some(c) if c.visible_at <= now => {
@@ -673,7 +682,6 @@ impl Nic {
                 _ => break,
             }
         }
-        out
     }
 
     // ------------------------------------------------------------------

@@ -9,7 +9,7 @@ pub use mempool::Mempool;
 
 use simnet_cpu::{Core, Op};
 use simnet_mem::{layout, MemorySystem};
-use simnet_nic::i8254x::TxRequest;
+use simnet_nic::i8254x::{RxCompletion, TxRequest};
 use simnet_nic::Nic;
 use simnet_sim::trace::{Component, Stage, Tracer};
 use simnet_sim::Tick;
@@ -69,6 +69,8 @@ pub struct DpdkStack {
     code: FootprintStream,
     tx_backlog: Vec<TxRequest>,
     ops: Vec<Op>,
+    /// Reused RX completion buffer (allocation-free steady state).
+    completions: Vec<RxCompletion>,
     tracer: Tracer,
     stats: StackStats,
 }
@@ -95,6 +97,7 @@ impl DpdkStack {
             hugepages: true,
             tx_backlog: Vec::new(),
             ops: Vec::new(),
+            completions: Vec::new(),
             tracer: Tracer::disabled(),
             stats: StackStats::default(),
         }
@@ -193,7 +196,9 @@ impl DpdkStack {
         ops.push(Op::Compute(self.costs.poll_base));
         ops.push(Op::Load(layout::rx_desc_addr(0, nic.config().rx_ring_size)));
 
-        let completions = nic.rx_poll(now, self.burst);
+        let mut completions = std::mem::take(&mut self.completions);
+        completions.clear();
+        nic.rx_poll_into(now, self.burst, &mut completions);
         let ring = nic.config().rx_ring_size;
         let tx_ring = nic.config().tx_ring_size;
         let mut tx_requests = Vec::new();
@@ -220,6 +225,7 @@ impl DpdkStack {
             self.code.emit_ifetches(&mut ops, 1);
             let end = core.execute(now, &ops, mem);
             self.ops = ops;
+            self.completions = completions;
             return Iteration {
                 end,
                 rx: 0,
@@ -235,7 +241,7 @@ impl DpdkStack {
             app.on_burst(rx_count, &mut ops);
         }
 
-        for completion in completions {
+        for completion in completions.drain(..) {
             let slot = completion.slot;
             self.tracer
                 .emit(now, completion.packet.id(), Component::Stack, Stage::SwRx);
@@ -300,6 +306,7 @@ impl DpdkStack {
         // bump retires.
         nic.rx_ring_post_at(end, rx_count);
         self.ops = ops;
+        self.completions = completions;
         Iteration {
             end,
             rx: rx_count,

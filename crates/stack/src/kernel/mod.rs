@@ -16,7 +16,7 @@
 
 use simnet_cpu::{ops, Core, Op};
 use simnet_mem::{layout, Addr, MemorySystem};
-use simnet_nic::i8254x::TxRequest;
+use simnet_nic::i8254x::{RxCompletion, TxRequest};
 use simnet_nic::Nic;
 use simnet_sim::tick::us;
 use simnet_sim::trace::{Component, Stage, Tracer};
@@ -92,6 +92,10 @@ pub struct KernelStack {
     tx_backlog: Vec<TxRequest>,
     /// Reused op-stream buffer (allocation-free steady state).
     ops: Vec<Op>,
+    /// Reused RX completion buffer (the softirq un-batch boundary:
+    /// whatever arrived as a wire burst is re-walked packet-at-a-time
+    /// here, but into a buffer that never reallocates in steady state).
+    completions: Vec<RxCompletion>,
     tracer: Tracer,
     stats: StackStats,
 }
@@ -116,6 +120,7 @@ impl KernelStack {
             tx_mbuf_cursor: 0,
             tx_backlog: Vec::new(),
             ops: Vec::new(),
+            completions: Vec::new(),
             tracer: Tracer::disabled(),
             stats: StackStats::default(),
         }
@@ -209,7 +214,9 @@ impl KernelStack {
             };
         }
 
-        let completions = nic.rx_poll(now, self.budget);
+        let mut completions = std::mem::take(&mut self.completions);
+        completions.clear();
+        nic.rx_poll_into(now, self.budget, &mut completions);
         let tx_ring = nic.config().tx_ring_size;
         let mut tx_requests = Vec::new();
         let mut tx_slot = 0usize;
@@ -236,6 +243,7 @@ impl KernelStack {
             ops.push(Op::Compute(50));
             let end = core.execute(now, &ops, mem);
             self.ops = ops;
+            self.completions = completions;
             return Iteration {
                 end,
                 rx: 0,
@@ -251,7 +259,7 @@ impl KernelStack {
             app.on_burst(rx_count, &mut ops);
         }
 
-        for completion in completions {
+        for completion in completions.drain(..) {
             self.tracer
                 .emit(now, completion.packet.id(), Component::Stack, Stage::SwRx);
             let len = completion.packet.len() as u64;
@@ -296,6 +304,7 @@ impl KernelStack {
         let tx_count = tx_requests.len();
         let end = core.execute(now, &ops, mem);
         self.ops = ops;
+        self.completions = completions;
         if tx_count > 0 {
             let (_, rejected) = nic.tx_submit(end, tx_requests);
             self.tx_backlog = rejected;

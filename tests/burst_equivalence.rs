@@ -1,0 +1,252 @@
+//! The load-bearing proof for the burst-batched hot path: running the
+//! *same* workload with `burst=1` (the exact scalar event schedule) and
+//! `burst=N` must be observationally indistinguishable — byte-identical
+//! golden traces, stats dumps (including the executed-event count),
+//! fault counters, and buffer-conservation ledgers — for arbitrary
+//! rates, frame sizes, burst sizes (ragged tails included), and fault
+//! plans. Batching is a transport optimization of the event queue, never
+//! a semantic change.
+
+use proptest::prelude::*;
+use simnet::harness::summary::{run_phases, Phases};
+use simnet::harness::{stats_text_all, AppSpec, Simulation, SoftwareClient, SystemConfig};
+use simnet::net::pool;
+use simnet::sim::fault::{FaultInjector, FaultPlan};
+use simnet::sim::tick::us;
+use simnet::sim::trace::{canonical_text, Component};
+
+/// Everything observable about one run, serialized for comparison.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    trace: String,
+    stats: String,
+    events: u64,
+    achieved_gbps_bits: u64,
+    fault_total: u64,
+    pool_live_after_drop: u64,
+}
+
+/// Runs one loadgen-mode TestPMD point with an explicit burst size and
+/// captures the full observable surface.
+fn run_loadgen(burst: usize, size: usize, gbps: f64, plan: &str, phases: Phases) -> Observed {
+    let cfg = SystemConfig::gem5();
+    let spec = AppSpec::TestPmd;
+    run_with(burst, plan, phases, || {
+        let (stack, app) = spec.instantiate(cfg.seed);
+        let loadgen = spec.loadgen(&cfg, size, gbps);
+        Simulation::loadgen_mode(&cfg, stack, app, loadgen)
+    })
+}
+
+/// Runs one kernel-stack (iperf) point — the path that un-batches at the
+/// softirq boundary.
+fn run_kernel(burst: usize, size: usize, gbps: f64, plan: &str, phases: Phases) -> Observed {
+    let cfg = SystemConfig::gem5();
+    let spec = AppSpec::Iperf;
+    run_with(burst, plan, phases, || {
+        let (stack, app) = spec.instantiate(cfg.seed);
+        let loadgen = spec.loadgen(&cfg, size, gbps);
+        Simulation::loadgen_mode(&cfg, stack, app, loadgen)
+    })
+}
+
+/// Runs one dual-mode point (two fully simulated nodes, one coalescer
+/// per direction).
+fn run_dual(burst: usize, size: usize, gbps: f64, plan: &str, phases: Phases) -> Observed {
+    let cfg = SystemConfig::gem5();
+    let spec = AppSpec::TestPmd;
+    run_with(burst, plan, phases, || {
+        let (server_stack, server_app) = spec.instantiate(cfg.seed);
+        let client_gen = spec.loadgen(&cfg, size, gbps);
+        let client_app = Box::new(SoftwareClient::new(client_gen));
+        let drive_stack: Box<dyn simnet::stack::NetworkStack> =
+            Box::new(simnet::stack::DpdkStack::new(cfg.seed ^ 0xD21E));
+        Simulation::dual_mode(
+            &cfg,
+            server_stack,
+            server_app,
+            &cfg,
+            drive_stack,
+            client_app,
+        )
+    })
+}
+
+fn run_with(
+    burst: usize,
+    plan: &str,
+    phases: Phases,
+    build: impl FnOnce() -> Simulation,
+) -> Observed {
+    let mut sim = build();
+    sim.set_burst(burst);
+    sim.enable_trace(1 << 20, Component::ALL_MASK);
+    if !plan.is_empty() {
+        let plan = FaultPlan::parse(plan).expect("valid plan");
+        sim.install_faults(FaultInjector::new(plan, 11));
+    }
+    let summary = run_phases(&mut sim, phases);
+    let trace = canonical_text(&sim.take_trace());
+    let stats = stats_text_all(&sim, 0);
+    let fault_total = sim.fault_injector().counts().total();
+    drop(sim);
+    Observed {
+        trace,
+        stats,
+        events: summary.events,
+        achieved_gbps_bits: summary.achieved_gbps().to_bits(),
+        fault_total,
+        pool_live_after_drop: pool::stats().live(),
+    }
+}
+
+/// Asserts the full observable surface matches between a scalar run and
+/// a batched run of the same point.
+fn assert_equivalent(scalar: &Observed, batched: &Observed, label: &str) {
+    assert_eq!(
+        scalar.trace, batched.trace,
+        "{label}: canonical traces diverged"
+    );
+    assert_eq!(scalar.stats, batched.stats, "{label}: stats dumps diverged");
+    assert_eq!(
+        scalar.events, batched.events,
+        "{label}: executed-event counts diverged"
+    );
+    assert_eq!(
+        scalar.achieved_gbps_bits, batched.achieved_gbps_bits,
+        "{label}: achieved throughput diverged"
+    );
+    assert_eq!(
+        scalar.fault_total, batched.fault_total,
+        "{label}: fault counters diverged"
+    );
+    assert_eq!(
+        scalar.pool_live_after_drop, 0,
+        "{label}: scalar run stranded buffers"
+    );
+    assert_eq!(
+        batched.pool_live_after_drop, 0,
+        "{label}: batched run stranded buffers"
+    );
+}
+
+const SHORT: Phases = Phases {
+    warmup: us(50),
+    measure: us(150),
+};
+
+/// The canonical burst-size matrix from the issue: 1 (reference), 2,
+/// 31/32/33 (around the inline capacity, ragged tails), and a large
+/// spilling size — all against the scalar schedule, clean and faulted.
+#[test]
+fn burst_matrix_is_byte_identical_to_scalar() {
+    for (size, gbps) in [(1518usize, 30.0f64), (64, 70.0)] {
+        for plan in ["", "link.ber=3e-5;dma.burst=+500ns/2us@20us"] {
+            let scalar = run_loadgen(1, size, gbps, plan, SHORT);
+            for burst in [2usize, 31, 32, 33, 64] {
+                let batched = run_loadgen(burst, size, gbps, plan, SHORT);
+                assert_equivalent(
+                    &scalar,
+                    &batched,
+                    &format!("testpmd {size}B @{gbps}Gbps burst={burst} plan={plan:?}"),
+                );
+            }
+        }
+    }
+}
+
+/// The kernel stack un-batches at the softirq boundary; its event
+/// schedule (NAPI wakeups, ITR latency) must be burst-invariant too.
+#[test]
+fn kernel_stack_is_burst_invariant() {
+    let phases = Phases {
+        warmup: us(100),
+        measure: us(400),
+    };
+    for plan in ["", "nic.wb_corrupt=8%;link.ber=2e-5"] {
+        let scalar = run_kernel(1, 1024, 20.0, plan, phases);
+        for burst in [32usize, 33] {
+            let batched = run_kernel(burst, 1024, 20.0, plan, phases);
+            assert_equivalent(
+                &scalar,
+                &batched,
+                &format!("iperf burst={burst} plan={plan:?}"),
+            );
+        }
+    }
+}
+
+/// Dual-mode runs coalesce both wire directions into per-node bursts;
+/// the Drive Node's software client must see the identical echo stream.
+#[test]
+fn dual_mode_is_burst_invariant() {
+    let scalar = run_dual(1, 256, 20.0, "", SHORT);
+    for burst in [2usize, 32] {
+        let batched = run_dual(burst, 256, 20.0, "", SHORT);
+        assert_equivalent(&scalar, &batched, &format!("dual-mode burst={burst}"));
+    }
+}
+
+/// The batching must actually batch: at a line-rate-ish point the burst
+/// transport has to flush full multi-packet bursts, otherwise the whole
+/// tentpole is a no-op that happens to pass its equivalence suite.
+///
+/// Note what is *not* asserted: inline drains. In the end-to-end
+/// schedule every wire arrival is chased by its own same-tick DMA kick
+/// (or, with the engine busy, by a rate-matched departure event), so
+/// there is an interposing event between any two consecutive deliveries
+/// and equivalence correctly forces the drain to requeue each time. The
+/// inline path is pinned down by white-box tests in `harness::sim`
+/// where adjacency can be constructed; here we assert the coalescing
+/// side: full-size bursts form and travel the queue as single inserts.
+#[test]
+fn bursts_actually_coalesce_at_high_rate() {
+    let cfg = SystemConfig::gem5();
+    let spec = AppSpec::TestPmd;
+    let (stack, app) = spec.instantiate(cfg.seed);
+    let loadgen = spec.loadgen(&cfg, 64, 70.0);
+    let mut sim = Simulation::loadgen_mode(&cfg, stack, app, loadgen);
+    sim.set_burst(32);
+    run_phases(&mut sim, SHORT);
+    let stats = sim.burst_stats();
+    assert!(stats.flushed > 100, "too few bursts flushed: {stats:?}");
+    assert!(
+        stats.constituents >= 16 * stats.flushed,
+        "bursts should average near-full at line rate: {stats:?}"
+    );
+    assert!(
+        stats.requeues > 0,
+        "interposed drains should requeue remainders: {stats:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10, ..ProptestConfig::default()
+    })]
+
+    /// Differential fuzz over the whole knob space: arbitrary offered
+    /// rates, frame sizes, burst sizes (including ragged tails around
+    /// the inline capacity), and fault plans. Every observable must
+    /// match the scalar reference run bit-for-bit.
+    #[test]
+    fn arbitrary_points_are_burst_invariant(
+        burst in prop_oneof![Just(2usize), Just(3), Just(8), Just(31), Just(32), Just(33), Just(48), Just(64)],
+        size in prop_oneof![Just(64usize), Just(256), Just(1024), Just(1518)],
+        gbps in prop_oneof![Just(2.0f64), Just(15.0), Just(45.0), Just(70.0)],
+        plan in prop_oneof![
+            Just(""),
+            Just("link.ber=3e-5"),
+            Just("nic.wb_corrupt=10%;dma.burst=+500ns/2us@20us"),
+            Just("nic.fifo_stuck=15us@50us;link.ber=2e-5"),
+        ],
+    ) {
+        let scalar = run_loadgen(1, size, gbps, plan, SHORT);
+        let batched = run_loadgen(burst, size, gbps, plan, SHORT);
+        assert_equivalent(
+            &scalar,
+            &batched,
+            &format!("fuzz {size}B @{gbps}Gbps burst={burst} plan={plan:?}"),
+        );
+    }
+}

@@ -61,6 +61,42 @@ fn faulted_point(fault_seed: u64) -> TracedRun {
             capacity: 1 << 16,
             mask: Component::ALL_MASK,
             faults: FaultInjector::new(plan, fault_seed),
+            ..Default::default()
+        },
+    )
+}
+
+/// A line-rate-ish TestPMD point where the burst transport genuinely
+/// coalesces (hundreds of multi-packet bursts per window): 30 Gbps of
+/// 1518 B frames over the same 250 µs window. `burst` selects the
+/// coalescing factor; `fault_seed` optionally installs the same chaos
+/// plan as [`faulted_point`].
+fn burst_point(burst: usize, fault_seed: Option<u64>) -> TracedRun {
+    let cfg = SystemConfig::gem5();
+    let rc = RunConfig {
+        phases: Phases {
+            warmup: 0,
+            measure: us(250),
+        },
+    };
+    let faults = match fault_seed {
+        Some(seed) => {
+            let plan = FaultPlan::parse("link.ber=3e-5;dma.burst=+500ns/2us@20us").unwrap();
+            FaultInjector::new(plan, seed)
+        }
+        None => FaultInjector::disabled(),
+    };
+    run_traced_with(
+        &cfg,
+        &AppSpec::TestPmd,
+        1518,
+        30.0,
+        rc,
+        TraceOpts {
+            capacity: 1 << 20,
+            mask: Component::ALL_MASK,
+            faults,
+            burst,
         },
     )
 }
@@ -170,6 +206,91 @@ fn faulted_trace_matches_committed_golden_file() {
         text, golden,
         "faulted trace diverged from the golden file; if the change is \
          intentional, regenerate with SIMNET_UPDATE_GOLDEN=1 cargo test --test golden_trace"
+    );
+}
+
+/// The burst-path golden: a point hot enough that deliveries travel as
+/// real multi-packet bursts, committed at the default coalescing factor.
+/// The same point re-run with `--burst=1` (the exact scalar schedule)
+/// must produce the identical bytes — the golden file itself witnesses
+/// the tentpole's equivalence claim.
+#[test]
+fn burst_trace_matches_committed_golden_file() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/testpmd_burst.trace"
+    );
+    let run = burst_point(32, None);
+    assert_eq!(run.evicted, 0, "burst golden trace must fit the ring");
+    let text = run.canonical_text();
+
+    if std::env::var_os("SIMNET_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+        std::fs::write(path, &text).unwrap();
+        return;
+    }
+
+    let golden = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("cannot read {path}: {e}; run with SIMNET_UPDATE_GOLDEN=1 to create it")
+    });
+    assert_eq!(
+        text, golden,
+        "burst trace diverged from the golden file; if the change is \
+         intentional, regenerate with SIMNET_UPDATE_GOLDEN=1 cargo test --test golden_trace"
+    );
+
+    let scalar = burst_point(1, None);
+    assert_eq!(
+        scalar.canonical_text(),
+        golden,
+        "the scalar (--burst=1) schedule must reproduce the burst golden byte-for-byte"
+    );
+}
+
+/// The faulted burst golden: the same hot point with the chaos plan
+/// installed, so fault draws land mid-burst. Both the batched and the
+/// scalar schedule must reproduce the committed bytes, including every
+/// `stage=fault` line.
+#[test]
+fn faulted_burst_trace_matches_committed_golden_file() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/testpmd_burst_faulted.trace"
+    );
+    let run = burst_point(32, Some(11));
+    assert_eq!(run.evicted, 0, "faulted burst golden must fit the ring");
+    let text = run.canonical_text();
+    assert!(
+        text.contains("stage=fault"),
+        "faulted burst golden must contain fault events"
+    );
+    assert!(
+        run.fault_counts.total() > 0,
+        "the plan must actually inject faults: {:?}",
+        run.fault_counts
+    );
+
+    if std::env::var_os("SIMNET_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+        std::fs::write(path, &text).unwrap();
+        return;
+    }
+
+    let golden = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("cannot read {path}: {e}; run with SIMNET_UPDATE_GOLDEN=1 to create it")
+    });
+    assert_eq!(
+        text, golden,
+        "faulted burst trace diverged from the golden file; if the change is \
+         intentional, regenerate with SIMNET_UPDATE_GOLDEN=1 cargo test --test golden_trace"
+    );
+
+    let scalar = burst_point(1, Some(11));
+    assert_eq!(
+        scalar.canonical_text(),
+        golden,
+        "the scalar (--burst=1) schedule must reproduce the faulted burst \
+         golden byte-for-byte, fault draws included"
     );
 }
 

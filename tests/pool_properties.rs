@@ -101,16 +101,20 @@ proptest! {
     }
 }
 
-/// Runs a faulted loadgen-mode point and returns the pool ledger after
-/// the simulation (and every packet it held) has been dropped.
-fn faulted_ledger(plan: &str, size: usize, gbps: f64) -> pool::PoolStats {
-    let plan = FaultPlan::parse(plan).expect("valid plan");
+/// Runs a faulted loadgen-mode point with an explicit wire-delivery
+/// coalescing factor and returns the pool ledger after the simulation
+/// (and every packet it held) has been dropped.
+fn faulted_ledger_with_burst(plan: &str, size: usize, gbps: f64, burst: usize) -> pool::PoolStats {
     let cfg = SystemConfig::gem5();
     let spec = AppSpec::TestPmd;
     let (stack, app) = spec.instantiate(cfg.seed);
     let loadgen = spec.loadgen(&cfg, size, gbps);
     let mut sim = Simulation::loadgen_mode(&cfg, stack, app, loadgen);
-    sim.install_faults(FaultInjector::new(plan, 11));
+    sim.set_burst(burst);
+    if !plan.is_empty() {
+        let plan = FaultPlan::parse(plan).expect("valid plan");
+        sim.install_faults(FaultInjector::new(plan, 11));
+    }
     run_phases(
         &mut sim,
         Phases {
@@ -120,6 +124,11 @@ fn faulted_ledger(plan: &str, size: usize, gbps: f64) -> pool::PoolStats {
     );
     drop(sim);
     pool::stats()
+}
+
+/// [`faulted_ledger_with_burst`] at the default coalescing factor.
+fn faulted_ledger(plan: &str, size: usize, gbps: f64) -> pool::PoolStats {
+    faulted_ledger_with_burst(plan, size, gbps, simnet::net::BURST_INLINE)
 }
 
 /// Leak conservation: every buffer the pool lent out comes back once the
@@ -150,6 +159,42 @@ fn fault_plans_conserve_the_buffer_ledger() {
             assert!(
                 stats.total_allocs() > 0,
                 "a {size}B run must exercise the pool"
+            );
+        }
+    }
+}
+
+/// Burst-path leak conservation: packets ride inside burst carriers
+/// between the wire and their handlers, including bursts abandoned
+/// half-drained in the queue when the run ends and bursts whose
+/// constituents get corrupted or dropped mid-flight by the fault plan.
+/// Every such buffer must still return to the pool, at ragged-tail and
+/// spilling burst sizes alike — and the final ledger must not depend on
+/// the burst size at all.
+#[test]
+fn faulted_burst_path_conserves_the_buffer_ledger() {
+    for plan in [
+        "",
+        "nic.wb_corrupt=10%;link.ber=3e-5",
+        "nic.fifo_stuck=15us@50us;dma.burst=+500ns/2us@20us",
+    ] {
+        let reference = faulted_ledger_with_burst(plan, 512, 45.0, 1);
+        assert_eq!(
+            reference.live(),
+            0,
+            "plan {plan}: scalar reference stranded buffers: {reference:?}"
+        );
+        for burst in [2usize, 33, 64] {
+            let stats = faulted_ledger_with_burst(plan, 512, 45.0, burst);
+            assert_eq!(
+                stats.live(),
+                0,
+                "plan {plan} burst {burst} stranded buffers: {stats:?}"
+            );
+            assert_eq!(
+                (stats.total_allocs(), stats.total_recycles()),
+                (reference.total_allocs(), reference.total_recycles()),
+                "plan {plan} burst {burst}: the alloc/recycle books must be                  burst-invariant"
             );
         }
     }
