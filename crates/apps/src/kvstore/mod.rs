@@ -48,6 +48,9 @@ pub struct KvStats {
 #[derive(Debug)]
 pub struct KvStore {
     buckets: u64,
+    /// Byte offset of this store's heap slice above `HEAP_BASE` — zero
+    /// for the legacy whole-store layout, `lcore * 64 MiB` for a shard.
+    base_offset: u64,
     map: HashMap<Vec<u8>, Entry>,
     next_entry: usize,
     stats: KvStats,
@@ -63,10 +66,18 @@ impl KvStore {
         assert!(buckets > 0, "need at least one bucket");
         Self {
             buckets,
+            base_offset: 0,
             map: HashMap::new(),
             next_entry: 0,
             stats: KvStats::default(),
         }
+    }
+
+    /// Moves the store's bucket array and entry region `offset` bytes up
+    /// the simulated heap, so per-lcore shards occupy disjoint slices.
+    pub fn with_base_offset(mut self, offset: u64) -> Self {
+        self.base_offset = offset;
+        self
     }
 
     /// Number of stored keys.
@@ -95,11 +106,11 @@ impl KvStore {
     }
 
     fn bucket_addr(&self, key: &[u8]) -> Addr {
-        layout::HEAP_BASE + (Self::hash(key) % self.buckets) * 8
+        layout::HEAP_BASE + self.base_offset + (Self::hash(key) % self.buckets) * 8
     }
 
-    fn entry_addr(index: usize) -> Addr {
-        layout::HEAP_BASE + ENTRY_REGION_OFFSET + index as u64 * ENTRY_STRIDE
+    fn entry_addr(&self, index: usize) -> Addr {
+        layout::HEAP_BASE + self.base_offset + ENTRY_REGION_OFFSET + index as u64 * ENTRY_STRIDE
     }
 
     fn emit_lookup_path(&self, key: &[u8], entry: Option<&Entry>, ops_out: &mut Vec<Op>) {
@@ -108,7 +119,7 @@ impl KvStore {
         // ...walk the bucket pointer...
         ops_out.push(Op::DependentLoad(self.bucket_addr(key)));
         if let Some(entry) = entry {
-            let addr = Self::entry_addr(entry.index);
+            let addr = self.entry_addr(entry.index);
             // ...chase to the entry and compare the stored key.
             ops_out.push(Op::DependentLoad(addr));
             ops::loads_over(ops_out, addr, key.len().max(8) as u64);
@@ -133,7 +144,7 @@ impl KvStore {
                 // Read the value out of the entry.
                 ops::loads_over(
                     ops_out,
-                    Self::entry_addr(index) + 64,
+                    self.entry_addr(index) + 64,
                     value_len.max(1) as u64,
                 );
                 self.stats.hits.inc();
@@ -168,7 +179,7 @@ impl KvStore {
             ops_out,
         );
         // Write the value into the entry.
-        let addr = Self::entry_addr(index) + 64;
+        let addr = self.entry_addr(index) + 64;
         ops::stores_over(ops_out, addr, value.len().max(1) as u64);
         self.stats.sets.inc();
         match self.map.get_mut(key) {
@@ -197,6 +208,34 @@ impl KvStore {
         for i in 0..count {
             let key = simnet_net::proto::memcached::nth_key(i);
             let len = lengths.sample(rng) as usize;
+            let value = vec![(i % 251) as u8; len];
+            self.set(&key, &value, &mut scratch);
+            scratch.clear();
+        }
+    }
+
+    /// Warms this store with the shard of the `count`-key keyspace that
+    /// RSS steers to `lcore` (keys whose [`simnet_net::rss::key_shard`]
+    /// queue lands on this lcore under the round-robin queue→lcore map).
+    /// The RNG is consumed for *every* key — sharded warm-ups across all
+    /// lcores reproduce exactly the value lengths [`KvStore::warm`]
+    /// would have assigned, regardless of the shard count.
+    pub fn warm_shard(
+        &mut self,
+        count: u64,
+        lengths: &Zipf,
+        rng: &mut SimRng,
+        lcore: usize,
+        nlcores: usize,
+        nqueues: usize,
+    ) {
+        let mut scratch = Vec::new();
+        for i in 0..count {
+            let key = simnet_net::proto::memcached::nth_key(i);
+            let len = lengths.sample(rng) as usize;
+            if simnet_net::rss::key_shard(&key, nqueues) % nlcores != lcore {
+                continue;
+            }
             let value = vec![(i % 251) as u8; len];
             self.set(&key, &value, &mut scratch);
             scratch.clear();
@@ -269,7 +308,41 @@ mod tests {
 
     #[test]
     fn values_land_at_distinct_heap_addresses() {
-        assert_ne!(KvStore::entry_addr(0), KvStore::entry_addr(1));
-        assert!(KvStore::entry_addr(0) >= layout::HEAP_BASE);
+        let store = KvStore::new(64);
+        assert_ne!(store.entry_addr(0), store.entry_addr(1));
+        assert!(store.entry_addr(0) >= layout::HEAP_BASE);
+    }
+
+    #[test]
+    fn shard_warms_partition_the_keyspace_exactly() {
+        let zipf = Zipf::paper_lengths();
+        let mut whole = KvStore::new(4096);
+        let mut rng = SimRng::seed_from(1);
+        whole.warm(5000, &zipf, &mut rng);
+
+        let nlcores = 4;
+        let nqueues = 4;
+        let mut total = 0;
+        for lcore in 0..nlcores {
+            let mut shard = KvStore::new(4096).with_base_offset(lcore as u64 * (64 << 20));
+            // Same seed per shard: the RNG is consumed for every key, so
+            // value lengths match the whole-store warm exactly.
+            let mut rng = SimRng::seed_from(1);
+            shard.warm_shard(5000, &zipf, &mut rng, lcore, nlcores, nqueues);
+            total += shard.len();
+            // Spot-check one shard-owned key against the whole store.
+            for i in 0..5000u64 {
+                let key = simnet_net::proto::memcached::nth_key(i);
+                if simnet_net::rss::key_shard(&key, nqueues) % nlcores == lcore {
+                    let mut ops = Vec::new();
+                    let got = shard.get(&key, &mut ops).expect("shard owns key");
+                    let mut ops2 = Vec::new();
+                    let want = whole.get(&key, &mut ops2).expect("warmed key");
+                    assert_eq!(got, want, "shard value diverged for key {i}");
+                    break;
+                }
+            }
+        }
+        assert_eq!(total, 5000, "shards partition the keyspace");
     }
 }

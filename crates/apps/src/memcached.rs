@@ -113,12 +113,20 @@ pub struct MemcachedDpdk {
 impl MemcachedDpdk {
     /// Creates the server around a warmed (or empty) store.
     pub fn new(store: KvStore) -> Self {
+        Self::for_lcore(store, 0)
+    }
+
+    /// Creates a per-lcore server shard: code and connection-state
+    /// footprints land in that lcore's private slice of the address map.
+    /// `for_lcore(store, 0)` is exactly `new(store)`.
+    pub fn for_lcore(store: KvStore, lcore: usize) -> Self {
+        let off = lcore as u64 * (64 << 20);
         Self {
             server: Server {
                 store,
                 dispatch_instructions: 10_000,
-                code: FootprintStream::new(APP_CODE_BASE, 768 << 10, 0.7, 0xD9D1),
-                state: FootprintStream::new(APP_STATE_BASE, 1 << 20, 0.5, 0xD9D2),
+                code: FootprintStream::new(APP_CODE_BASE + off, 768 << 10, 0.7, 0xD9D1),
+                state: FootprintStream::new(APP_STATE_BASE + off, 1 << 20, 0.5, 0xD9D2),
                 responses: Counter::new(),
                 parse_errors: Counter::new(),
             },
@@ -165,14 +173,22 @@ pub struct MemcachedKernel {
 impl MemcachedKernel {
     /// Creates the server around a warmed (or empty) store.
     pub fn new(store: KvStore) -> Self {
+        Self::for_lcore(store, 0)
+    }
+
+    /// Creates a per-lcore server shard (worker-thread memcached): code
+    /// and connection-state footprints land in that lcore's private
+    /// slice of the address map. `for_lcore(store, 0)` is `new(store)`.
+    pub fn for_lcore(store: KvStore, lcore: usize) -> Self {
+        let off = lcore as u64 * (64 << 20);
         Self {
             server: Server {
                 store,
                 // libevent dispatch, connection bookkeeping, per-thread
                 // stats, slab accounting: the full memcached binary.
                 dispatch_instructions: 18_000,
-                code: FootprintStream::new(APP_CODE_BASE, 1536 << 10, 0.6, 0xD9D3),
-                state: FootprintStream::new(APP_STATE_BASE, 2 << 20, 0.5, 0xD9D4),
+                code: FootprintStream::new(APP_CODE_BASE + off, 1536 << 10, 0.6, 0xD9D3),
+                state: FootprintStream::new(APP_STATE_BASE + off, 2 << 20, 0.5, 0xD9D4),
                 responses: Counter::new(),
                 parse_errors: Counter::new(),
             },

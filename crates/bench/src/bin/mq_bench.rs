@@ -1,0 +1,235 @@
+//! Multi-queue scaling benchmark: MemcachedDPDK driven past its knee at
+//! `(nqueues, lcores)` ∈ {(1,1), (2,2), (4,4)}, emitting/checking the
+//! committed `BENCH_mq.json`.
+//!
+//! ```text
+//! mq_bench [--out FILE] [--check BASELINE] [--max-regress PCT]
+//! ```
+//!
+//! Each row runs the real simulation at a deliberately saturating
+//! offered rate and records:
+//!
+//! * `krps` — the achieved request rate, i.e. the configuration's knee.
+//!   This is *simulation-deterministic*: a pure function of the seed and
+//!   config, immune to host noise, so the scaling gate built on it is
+//!   exact.
+//! * `events_per_host_sec` — simulator effort, honestly reported so the
+//!   configuration cost of extra queues/lcores is visible. Host-noisy;
+//!   informational only, never gated.
+//! * `speedup` — achieved krps relative to the (1,1) row.
+//!
+//! The bench self-gates: it exits nonzero unless the (4,4) row sustains
+//! **>= 1.5x** the (1,1) request rate — the PR's acceptance floor for
+//! the multi-queue tentpole. `--check` compares each row's speedup
+//! against the committed baseline with a regression tolerance on top.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use simnet_harness::{run_point, AppSpec, RunConfig, SystemConfig};
+
+/// Offered request rate (kRPS) far past the 4-lcore knee, so every row
+/// reports its saturation point.
+const OFFERED_KRPS: f64 = 3_200.0;
+
+struct Row {
+    nqueues: usize,
+    lcores: usize,
+    krps: f64,
+    events_per_host_sec: f64,
+}
+
+impl Row {
+    fn name(&self) -> String {
+        format!("mc_dpdk_{}q{}l", self.nqueues, self.lcores)
+    }
+}
+
+fn run_rows() -> Vec<Row> {
+    [(1usize, 1usize), (2, 2), (4, 4)]
+        .iter()
+        .map(|&(nq, lc)| {
+            let cfg = SystemConfig::gem5().with_queues(nq).with_lcores(lc);
+            let start = Instant::now();
+            let s = run_point(
+                &cfg,
+                &AppSpec::MemcachedDpdk,
+                0,
+                OFFERED_KRPS,
+                RunConfig::long(),
+            );
+            let host = start.elapsed().as_secs_f64();
+            Row {
+                nqueues: nq,
+                lcores: lc,
+                krps: s.achieved_rps() / 1e3,
+                events_per_host_sec: if host > 0.0 {
+                    s.events as f64 / host
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+fn fmt_json(rows: &[Row], base_krps: f64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"bench-mq-v1\",\n");
+    out.push_str(&format!("  \"offered_krps\": {OFFERED_KRPS},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"queues\": {}, \"lcores\": {}, \"krps\": {:.1}, \"events_per_host_sec\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            r.name(),
+            r.nqueues,
+            r.lcores,
+            r.krps,
+            r.events_per_host_sec,
+            r.krps / base_krps,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Pulls `"name": ..., "speedup": ...` pairs out of a baseline JSON.
+/// Hand-rolled (no serde in the workspace), tied to our own writer.
+fn parse_baseline_speedups(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_at + 9..];
+        let Some(name_end) = rest.find('"') else {
+            continue;
+        };
+        let name = &rest[..name_end];
+        let Some(sp_at) = line.find("\"speedup\": ") else {
+            continue;
+        };
+        let sp_rest = &line[sp_at + 11..];
+        let digits: String = sp_rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        if let Ok(speedup) = digits.parse::<f64>() {
+            out.push((name.to_string(), speedup));
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut max_regress = 20.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out_path = Some(p),
+                None => {
+                    eprintln!("--out requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--check" => match args.next() {
+                Some(p) => check_path = Some(p),
+                None => {
+                    eprintln!("--check requires a baseline file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-regress" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => max_regress = v,
+                _ => {
+                    eprintln!("--max-regress requires a positive percentage");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown argument {other}\n\
+                     usage: mq_bench [--out FILE] [--check BASELINE] [--max-regress PCT]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!("multi-queue scaling bench (memcached-dpdk @ {OFFERED_KRPS} kRPS offered):");
+    let rows = run_rows();
+    let base_krps = rows[0].krps.max(1e-9);
+    for r in &rows {
+        println!(
+            "  {:<14} {:>8.1} kRPS   {:>10.0} ev/host-s   speedup {:.2}x",
+            r.name(),
+            r.krps,
+            r.events_per_host_sec,
+            r.krps / base_krps
+        );
+    }
+
+    // The tentpole's acceptance floor, gated unconditionally: 4 lcores
+    // must sustain >= 1.5x the single-core request rate.
+    let top = rows.last().expect("rows always run");
+    let top_speedup = top.krps / base_krps;
+    if top_speedup < 1.5 {
+        eprintln!(
+            "error: {} speedup {top_speedup:.2}x is below the 1.5x floor",
+            top.name()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let json = fmt_json(&rows, base_krps);
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = &check_path {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: could not read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let base = parse_baseline_speedups(&baseline);
+        if base.is_empty() {
+            eprintln!("error: no speedup entries found in baseline {path}");
+            return ExitCode::FAILURE;
+        }
+        let mut failed = false;
+        for (name, base_speedup) in &base {
+            let Some(r) = rows.iter().find(|r| &r.name() == name) else {
+                eprintln!("warning: baseline row {name} not measured; skipping");
+                continue;
+            };
+            let speedup = r.krps / base_krps;
+            let floor = base_speedup / (1.0 + max_regress / 100.0);
+            let status = if speedup < floor {
+                failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "  check {name}: speedup {speedup:.2}x vs baseline {base_speedup:.2}x \
+                 (floor {floor:.2}x) {status}"
+            );
+        }
+        if failed {
+            eprintln!("error: multi-queue scaling regressed more than {max_regress}% vs {path}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -129,8 +129,14 @@ impl CoreStats {
 impl Core {
     /// Registers the `system.cpu.*` statistics section.
     pub fn register_stats(&self, reg: &mut simnet_sim::stats::StatsRegistry) {
+        self.register_stats_at("system.cpu", reg);
+    }
+
+    /// Registers this core's statistics under an arbitrary scope — the
+    /// multi-lcore harness uses `system.cpu.lcore<i>` per worker core.
+    pub fn register_stats_at(&self, scope: &str, reg: &mut simnet_sim::stats::StatsRegistry) {
         let c = &self.stats;
-        reg.scoped("system.cpu", |reg| {
+        reg.scoped(scope, |reg| {
             reg.scalar(
                 "committedInsts",
                 c.instructions.value(),

@@ -7,6 +7,7 @@
 //! repro [--trace PATH] [--trace-filter COMPONENTS] [--trace-gbps G]
 //!       [--stats-out FILE] [--stats-interval US] [--profile]
 //!       [--faults PLAN] [--fault-seed N] [--burst N] [--frame BYTES]
+//!       [--nqueues N] [--lcores N]
 //! ```
 //!
 //! Results print as tables and are written as CSVs under `--out`
@@ -34,6 +35,12 @@
 //! traces, stats, and summaries. `--frame BYTES` picks the frame size of
 //! the single-point run (default 1518; `--frame 64` reproduces the
 //! small-frame knee).
+//!
+//! `--nqueues N` gives the single-point run N RSS queue pairs and
+//! `--lcores N` that many worker cores polling them (N ≤ nqueues); the
+//! experiment `mq-sweep` sweeps the full cores × queues grid. At
+//! `--nqueues 1 --lcores 1` (the default) the run is byte-identical to
+//! the legacy single-ring path.
 //!
 //! `--faults PLAN` installs a deterministic fault plan for the run
 //! (grammar: `link.ber=1e-7;pci.stall=200ns@10%;dma.burst=+500ns/1us`; see
@@ -77,6 +84,7 @@ const EXPERIMENTS: &[&str] = &[
     "tcp",
     "latency-hist",
     "fault-matrix",
+    "mq-sweep",
 ];
 
 fn run_one(name: &str, effort: Effort) -> Option<ExperimentOutput> {
@@ -107,6 +115,7 @@ fn run_one(name: &str, effort: Effort) -> Option<ExperimentOutput> {
         "tcp" => experiments::tcp_ext::run(effort),
         "latency-hist" => experiments::latency_hist::run(effort),
         "fault-matrix" => experiments::fault_matrix::run(effort),
+        "mq-sweep" => experiments::mq_sweep::run(effort),
         _ => return None,
     };
     Some(out)
@@ -122,6 +131,8 @@ struct PointMode {
     profile: bool,
     burst: usize,
     frame: usize,
+    nqueues: usize,
+    lcores: usize,
 }
 
 fn write_file(path: &PathBuf, contents: &str) -> Result<(), ExitCode> {
@@ -141,7 +152,9 @@ fn write_file(path: &PathBuf, contents: &str) -> Result<(), ExitCode> {
 
 /// Runs one observed TestPMD point and writes the requested outputs.
 fn run_point_mode(mode: &PointMode, offered_gbps: f64, faults: FaultInjector) -> ExitCode {
-    let cfg = SystemConfig::gem5();
+    let cfg = SystemConfig::gem5()
+        .with_queues(mode.nqueues)
+        .with_lcores(mode.lcores);
     let spec = AppSpec::TestPmd;
     let rc = RunConfig::fast();
     let faulted = faults.is_enabled();
@@ -159,6 +172,12 @@ fn run_point_mode(mode: &PointMode, offered_gbps: f64, faults: FaultInjector) ->
     );
     if mode.burst != 1 {
         println!("burst transport: up to {} deliveries per event", mode.burst);
+    }
+    if mode.nqueues != 1 || mode.lcores != 1 {
+        println!(
+            "multi-queue: {} RX/TX queue pairs, {} worker lcores",
+            mode.nqueues, mode.lcores
+        );
     }
     let run = run_observed(
         &cfg,
@@ -311,6 +330,8 @@ fn main() -> ExitCode {
     let mut fault_seed = 42u64;
     let mut burst = simnet_net::BURST_INLINE;
     let mut frame = 1518usize;
+    let mut nqueues = 1usize;
+    let mut lcores = 1usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -377,6 +398,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--nqueues" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if (1..=8).contains(&n) => nqueues = n,
+                _ => {
+                    eprintln!("--nqueues requires a queue-pair count (1..=8)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--lcores" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if (1..=8).contains(&n) => lcores = n,
+                _ => {
+                    eprintln!("--lcores requires a worker-core count (1..=8)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--faults" => match args.next().as_deref().map(FaultPlan::parse) {
                 Some(Ok(plan)) => fault_plan = Some(plan),
                 Some(Err(e)) => {
@@ -400,7 +435,8 @@ fn main() -> ExitCode {
                     "usage: repro [--quick] [--out DIR] [all|{}]\n\
                      \x20      repro [--trace PATH] [--trace-filter COMPONENTS] [--trace-gbps G]\n\
                      \x20            [--stats-out FILE] [--stats-interval US] [--profile]\n\
-                     \x20            [--faults PLAN] [--fault-seed N] [--burst N] [--frame BYTES]",
+                     \x20            [--faults PLAN] [--fault-seed N] [--burst N] [--frame BYTES]\n\
+                     \x20            [--nqueues N] [--lcores N]",
                     EXPERIMENTS.join("|")
                 );
                 return ExitCode::SUCCESS;
@@ -413,6 +449,10 @@ fn main() -> ExitCode {
         Some(plan) => FaultInjector::new(plan, fault_seed),
         None => FaultInjector::disabled(),
     };
+    if lcores > nqueues {
+        eprintln!("--lcores {lcores} needs at least as many --nqueues (have {nqueues})");
+        return ExitCode::FAILURE;
+    }
     if trace_path.is_some() || stats_path.is_some() || profile {
         let mode = PointMode {
             trace_path,
@@ -422,8 +462,14 @@ fn main() -> ExitCode {
             profile,
             burst,
             frame,
+            nqueues,
+            lcores,
         };
         return run_point_mode(&mode, trace_gbps, faults);
+    }
+    if nqueues != 1 || lcores != 1 {
+        eprintln!("--nqueues/--lcores only apply to single-point runs (see mq-sweep)");
+        return ExitCode::FAILURE;
     }
     if faults.is_enabled() {
         eprintln!("--faults/--fault-seed only apply to single-point runs");

@@ -24,6 +24,9 @@ pub struct SystemConfig {
     pub link_latency: Tick,
     /// RNG seed for all stochastic components.
     pub seed: u64,
+    /// Worker lcores on the node under test (1 = the single-core legacy
+    /// configuration; more requires at least as many NIC queues).
+    pub num_lcores: usize,
     /// Software-client packet-rate ceiling in packets/second, if the
     /// "client" is a real software load generator rather than hardware —
     /// the altra measurements in Fig. 6 are capped by Pktgen at roughly
@@ -42,6 +45,7 @@ impl SystemConfig {
             link_bandwidth: Bandwidth::gbps(100.0),
             link_latency: us(100),
             seed: 0x5EED,
+            num_lcores: 1,
             client_pps_cap: None,
         }
     }
@@ -64,6 +68,7 @@ impl SystemConfig {
             link_bandwidth: Bandwidth::gbps(100.0),
             link_latency: us(100),
             seed: 0xA17A,
+            num_lcores: 1,
             client_pps_cap: Some(15.6e6),
         }
     }
@@ -138,6 +143,28 @@ impl SystemConfig {
     /// Replaces the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Replaces the NIC RX/TX queue-pair count (multi-queue RSS).
+    pub fn with_queues(mut self, queues: usize) -> Self {
+        self.nic = self.nic.with_queues(queues);
+        self
+    }
+
+    /// Replaces the worker-lcore count (the Fig. 6-style cores axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lcores` is zero or exceeds the NIC queue count.
+    pub fn with_lcores(mut self, lcores: usize) -> Self {
+        assert!(lcores > 0, "need at least one lcore");
+        assert!(
+            lcores <= self.nic.num_queues,
+            "{lcores} lcores need at least as many NIC queues (have {})",
+            self.nic.num_queues
+        );
+        self.num_lcores = lcores;
         self
     }
 }

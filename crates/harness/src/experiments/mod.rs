@@ -18,6 +18,7 @@
 //! | [`ablations`] | Design-choice ablations (writeback threshold, DCA ways, open/closed clients) |
 //! | [`fault_matrix`] | Chaos sweep: fault intensity vs achieved rate (`simnet_sim::fault`) |
 //! | [`tcp_ext`] | Extension: the TCP state machine in `EtherLoadGen` (paper future work) |
+//! | [`mq_sweep`] | Extension: cores × queues RSS scaling (the Fig. 6-style multi-queue axis) |
 
 pub mod ablations;
 pub mod cache;
@@ -29,6 +30,7 @@ pub mod fig05;
 pub mod headline;
 pub mod latency_hist;
 pub mod memcached;
+pub mod mq_sweep;
 pub mod speedup;
 pub mod table1;
 pub mod tcp_ext;

@@ -76,10 +76,27 @@ impl AppSpec {
 
     /// Builds the stack + application for a node.
     pub fn instantiate(&self, seed: u64) -> (Box<dyn NetworkStack>, Box<dyn PacketApp>) {
+        self.instantiate_mq(seed, 0, 1, 1)
+    }
+
+    /// Builds the stack + application shard for worker `lcore` of an
+    /// `nlcores`-worker node whose NIC exposes `nqueues` queues.
+    /// `instantiate_mq(seed, 0, 1, _)` is exactly [`AppSpec::instantiate`]:
+    /// the lone lcore gets the whole store and the legacy address-map
+    /// bases. With more workers, the memcached store is sharded by RSS
+    /// key ownership and every per-lcore footprint moves to that lcore's
+    /// private 64 MiB slice.
+    pub fn instantiate_mq(
+        &self,
+        seed: u64,
+        lcore: usize,
+        nlcores: usize,
+        nqueues: usize,
+    ) -> (Box<dyn NetworkStack>, Box<dyn PacketApp>) {
         let stack: Box<dyn NetworkStack> = if self.kernel_stack() {
-            Box::new(KernelStack::new(seed))
+            Box::new(KernelStack::for_lcore(seed, lcore))
         } else {
-            Box::new(DpdkStack::new(seed))
+            Box::new(DpdkStack::for_lcore(seed, lcore))
         };
         let app: Box<dyn PacketApp> = match self {
             AppSpec::TestPmd => Box::new(TestPmd::new()),
@@ -88,8 +105,14 @@ impl AppSpec {
             AppSpec::RxpTx(t) => Box::new(RxpTx::new(*t)),
             AppSpec::Iperf => Box::new(Iperf::new()),
             AppSpec::IperfTcp => Box::new(IperfTcp::new()),
-            AppSpec::MemcachedDpdk => Box::new(MemcachedDpdk::new(warmed_store(seed))),
-            AppSpec::MemcachedKernel => Box::new(MemcachedKernel::new(warmed_store(seed))),
+            AppSpec::MemcachedDpdk => Box::new(MemcachedDpdk::for_lcore(
+                shard_store(seed, lcore, nlcores, nqueues),
+                lcore,
+            )),
+            AppSpec::MemcachedKernel => Box::new(MemcachedKernel::for_lcore(
+                shard_store(seed, lcore, nlcores, nqueues),
+                lcore,
+            )),
         };
         (stack, app)
     }
@@ -132,6 +155,49 @@ fn warmed_store(seed: u64) -> KvStore {
     store
 }
 
+/// `lcore`'s shard of the paper's 5000-key store. With one lcore this is
+/// exactly [`warmed_store`] (every key, legacy heap layout); otherwise
+/// the shard holds the keys RSS steers to this lcore, in a disjoint
+/// 64 MiB heap slice, with value lengths identical to the whole-store
+/// warm (the RNG is consumed for every key on every shard).
+fn shard_store(seed: u64, lcore: usize, nlcores: usize, nqueues: usize) -> KvStore {
+    if nlcores == 1 {
+        return warmed_store(seed);
+    }
+    let mut store = KvStore::new(8192).with_base_offset(lcore as u64 * (64 << 20));
+    store.warm_shard(
+        5_000,
+        &Zipf::paper_lengths(),
+        &mut SimRng::seed_from(seed),
+        lcore,
+        nlcores,
+        nqueues,
+    );
+    store
+}
+
+/// Attaches worker lcores `1..cfg.num_lcores` to the test node and, for
+/// request workloads on a multi-queue NIC, steers each client request's
+/// source port onto the RSS queue owning its key's shard. No-op for the
+/// single-queue single-core legacy configuration.
+pub(crate) fn add_workers(sim: &mut Simulation, cfg: &SystemConfig, spec: &AppSpec) {
+    let nq = cfg.nic.num_queues;
+    for lcore in 1..cfg.num_lcores {
+        let (stack, app) = spec.instantiate_mq(cfg.seed, lcore, cfg.num_lcores, nq);
+        sim.add_worker(0, stack, app);
+    }
+    if nq > 1 {
+        if let Some(lg) = &mut sim.loadgen {
+            lg.set_memcached_shard_ports(simnet_net::rss::ports_for_queues(
+                [10, 0, 0, 2],
+                [10, 0, 0, 1],
+                11_211,
+                nq,
+            ));
+        }
+    }
+}
+
 /// Run configuration for a measurement point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunConfig {
@@ -172,6 +238,24 @@ impl RunConfig {
     }
 }
 
+/// Assembles a loadgen-mode simulation exactly as
+/// [`run_point`]/[`run_observed`](crate::run_observed) do — stack, app,
+/// worker lcores, and RSS shard steering included — without running it.
+/// Integration tests use this to attach their own observability layers
+/// (trace, faults, burst factor) before driving the phases themselves.
+pub fn build_loadgen_sim(
+    cfg: &SystemConfig,
+    spec: &AppSpec,
+    size: usize,
+    offered: f64,
+) -> Simulation {
+    let (stack, app) = spec.instantiate_mq(cfg.seed, 0, cfg.num_lcores, cfg.nic.num_queues);
+    let loadgen = spec.loadgen(cfg, size, offered);
+    let mut sim = Simulation::loadgen_mode(cfg, stack, app, loadgen);
+    add_workers(&mut sim, cfg, spec);
+    sim
+}
+
 /// Runs one (config, app, size, offered-load) measurement point.
 pub fn run_point(
     cfg: &SystemConfig,
@@ -190,9 +274,7 @@ pub fn run_point(
         (Some(cap), true) => offered.min(cap / 1_000.0),
         (None, _) => offered,
     };
-    let (stack, app) = spec.instantiate(cfg.seed);
-    let loadgen = spec.loadgen(cfg, size, offered);
-    let mut sim = Simulation::loadgen_mode(cfg, stack, app, loadgen);
+    let mut sim = build_loadgen_sim(cfg, spec, size, offered);
     run_phases(&mut sim, rc.phases)
 }
 
@@ -207,9 +289,18 @@ pub fn run_dual_point(
     offered: f64,
     rc: RunConfig,
 ) -> RunSummary {
-    let (server_stack, server_app) = spec.instantiate(cfg.seed);
+    let (server_stack, server_app) =
+        spec.instantiate_mq(cfg.seed, 0, cfg.num_lcores, cfg.nic.num_queues);
     // The Drive Node runs the matching client as a DPDK app (Pktgen-like).
-    let client_gen = spec.loadgen(cfg, size, offered);
+    let mut client_gen = spec.loadgen(cfg, size, offered);
+    if cfg.nic.num_queues > 1 {
+        client_gen.set_memcached_shard_ports(simnet_net::rss::ports_for_queues(
+            [10, 0, 0, 2],
+            [10, 0, 0, 1],
+            11_211,
+            cfg.nic.num_queues,
+        ));
+    }
     let client_app = Box::new(crate::client_app::SoftwareClient::new(client_gen));
     let drive_stack: Box<dyn NetworkStack> = Box::new(DpdkStack::new(cfg.seed ^ 0xD21E));
     let drive_cfg = *cfg;
@@ -221,6 +312,7 @@ pub fn run_dual_point(
         drive_stack,
         client_app,
     );
+    add_workers(&mut sim, cfg, spec);
     run_phases(&mut sim, rc.phases)
 }
 

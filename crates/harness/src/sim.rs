@@ -22,7 +22,7 @@ use simnet_sim::stats::{ColumnSpec, Profiler, SampleValue, TimeSeries};
 use simnet_sim::trace::{Component, Stage, TraceEvent, Tracer, NO_PACKET};
 use simnet_sim::{tick, EventKey, EventQueue, Priority, Tick};
 use simnet_stack::dpdk::{Eal, EalConfig};
-use simnet_stack::{NetworkStack, PacketApp};
+use simnet_stack::{Iteration, NetworkStack, PacketApp};
 
 use crate::config::SystemConfig;
 
@@ -35,14 +35,14 @@ enum Ev {
     NicRx { node: usize, packet: Packet },
     /// An echo arrives back at the load generator.
     LoadGenRx { packet: Packet },
-    /// RX DMA engine pipeline advance.
-    RxDma { node: usize },
-    /// TX DMA engine pipeline advance.
-    TxDma { node: usize },
+    /// RX DMA engine pipeline advance for one NIC queue.
+    RxDma { node: usize, queue: usize },
+    /// TX DMA engine pipeline advance for one NIC queue.
+    TxDma { node: usize, queue: usize },
     /// TX FIFO → wire drain.
     TxWire { node: usize },
-    /// One software stack iteration.
-    Software { node: usize },
+    /// One software stack iteration on one worker lcore.
+    Software { node: usize, lcore: usize },
     /// A coalesced batch of frame arrivals at a node's NIC: one queue
     /// event standing in for up to `burst_size` [`Ev::NicRx`] events,
     /// each recoverable at its original `(tick, seq)` key.
@@ -194,7 +194,24 @@ fn sample_columns() -> Vec<ColumnSpec> {
             "pool_fallback",
             "cumulative heap-fallback packet allocations",
         ),
+        ColumnSpec::int("rxq_used_max", "max per-queue RX FIFO bytes in use"),
+        ColumnSpec::int(
+            "rxq_visible_max",
+            "max per-queue frames visible to software",
+        ),
     ]
+}
+
+/// One additional worker lcore of a node (lcore indices 1 and up; lcore
+/// 0 lives directly on [`Node`]): its private core, its own stack
+/// instance, and its application shard.
+pub struct Worker {
+    /// The worker's core (private L1/L2 in the node's memory system).
+    pub core: Core,
+    /// The worker's stack instance (per-lcore mempool/footprint bases).
+    pub stack: Box<dyn NetworkStack>,
+    /// The worker's application shard.
+    pub app: Box<dyn PacketApp>,
 }
 
 /// One simulated machine.
@@ -203,23 +220,28 @@ pub struct Node {
     pub nic: Nic,
     /// The node's memory system.
     pub mem: MemorySystem,
-    /// The node's core.
+    /// The node's core (worker lcore 0).
     pub core: Core,
-    /// The software network stack.
+    /// The software network stack (worker lcore 0).
     pub stack: Box<dyn NetworkStack>,
-    /// The application.
+    /// The application (worker lcore 0's shard).
     pub app: Box<dyn PacketApp>,
+    /// Additional worker lcores (lcore `i + 1` is `workers[i]`); empty
+    /// in the single-core legacy configuration.
+    pub workers: Vec<Worker>,
     /// Link from this node toward its peer (NIC TX side).
     out_link: EtherLink,
-    sw_scheduled: bool,
-    sw_waiting: bool,
-    rx_dma_scheduled: bool,
-    tx_dma_scheduled: bool,
+    /// Per-lcore software-iteration scheduling flags.
+    sw_scheduled: Vec<bool>,
+    sw_waiting: Vec<bool>,
+    /// Per-queue DMA-engine scheduling flags.
+    rx_dma_scheduled: Vec<bool>,
+    tx_dma_scheduled: Vec<bool>,
     tx_wire_scheduled: bool,
 }
 
 impl Node {
-    fn new(cfg: &SystemConfig, stack: Box<dyn NetworkStack>, app: Box<dyn PacketApp>) -> Self {
+    fn new(cfg: &SystemConfig, mut stack: Box<dyn NetworkStack>, app: Box<dyn PacketApp>) -> Self {
         let mut nic = Nic::new(cfg.nic);
         let mut mem = MemorySystem::new(cfg.mem);
         mem.set_core_frequency(cfg.core.frequency);
@@ -238,9 +260,15 @@ impl Node {
             eal.init(&mut nic)
                 .expect("patched DPDK initializes on the extended NIC model");
         }
-        // The driver posts the full RX ring.
+        // The driver posts the full RX ring (every queue's ring, under
+        // multi-queue operation).
         let ring = cfg.nic.rx_ring_size;
         nic.rx_ring_post(ring);
+        // A lone lcore services every queue until workers are added.
+        let nq = nic.num_queues();
+        if nq > 1 {
+            stack.assign_queues((0..nq).collect());
+        }
 
         Self {
             nic,
@@ -248,13 +276,70 @@ impl Node {
             core,
             stack,
             app,
+            workers: Vec::new(),
             out_link: EtherLink::new(cfg.link_bandwidth, cfg.link_latency),
-            sw_scheduled: false,
-            sw_waiting: false,
-            rx_dma_scheduled: false,
-            tx_dma_scheduled: false,
+            sw_scheduled: vec![false],
+            sw_waiting: vec![false],
+            rx_dma_scheduled: vec![false; nq],
+            tx_dma_scheduled: vec![false; nq],
             tx_wire_scheduled: false,
         }
+    }
+
+    /// Number of worker lcores (lcore 0 plus added workers).
+    pub fn lcores(&self) -> usize {
+        1 + self.workers.len()
+    }
+
+    /// Runs one stack iteration on `lcore`, activating its private cache
+    /// hierarchy first.
+    fn run_lcore(&mut self, now: Tick, lcore: usize) -> Iteration {
+        self.mem.set_active_core(lcore);
+        if lcore == 0 {
+            self.stack.iteration(
+                now,
+                &mut self.nic,
+                &mut self.core,
+                &mut self.mem,
+                self.app.as_mut(),
+            )
+        } else {
+            let w = &mut self.workers[lcore - 1];
+            w.stack.iteration(
+                now,
+                &mut self.nic,
+                &mut w.core,
+                &mut self.mem,
+                w.app.as_mut(),
+            )
+        }
+    }
+
+    fn wakeup_latency_of(&self, lcore: usize) -> Tick {
+        if lcore == 0 {
+            self.stack.wakeup_latency()
+        } else {
+            self.workers[lcore - 1].stack.wakeup_latency()
+        }
+    }
+
+    fn next_tx_of(&mut self, lcore: usize, at: Tick) -> Option<Tick> {
+        if lcore == 0 {
+            self.app.next_tx_at(at)
+        } else {
+            self.workers[lcore - 1].app.next_tx_at(at)
+        }
+    }
+
+    /// Earliest tick at which a packet becomes visible on any queue this
+    /// lcore services (round-robin assignment: queue `q` belongs to
+    /// lcore `q mod nlcores`).
+    fn rx_next_visible_for(&self, lcore: usize) -> Option<Tick> {
+        let nlcores = self.lcores();
+        (0..self.nic.num_queues())
+            .filter(|q| q % nlcores == lcore)
+            .filter_map(|q| self.nic.rx_next_visible_at_q(q))
+            .min()
     }
 }
 
@@ -381,10 +466,57 @@ impl Simulation {
             node.nic.set_tracer(self.tracer.clone());
             node.mem.set_tracer(self.tracer.clone());
             node.stack.set_tracer(self.tracer.clone());
+            for w in &mut node.workers {
+                w.stack.set_tracer(self.tracer.clone());
+            }
         }
         if let Some(lg) = &mut self.loadgen {
             lg.set_tracer(self.tracer.clone());
         }
+    }
+
+    /// Adds a worker lcore to `node`: a private core, an independent
+    /// stack instance (built via `for_lcore`, so its mempool and
+    /// footprint bases don't collide), and an application shard. Queue
+    /// assignments for *every* lcore of the node are recomputed
+    /// round-robin (lcore `L` services queues `{q : q mod nlcores == L}`)
+    /// and the memory system grows a private L1/L2 hierarchy per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation already started, or if the node would
+    /// end up with more lcores than NIC queues (an lcore with nothing
+    /// to poll).
+    pub fn add_worker(
+        &mut self,
+        node: usize,
+        mut stack: Box<dyn NetworkStack>,
+        app: Box<dyn PacketApp>,
+    ) {
+        assert!(!self.started, "add_worker must precede the first run");
+        if self.tracer.is_enabled() {
+            stack.set_tracer(self.tracer.clone());
+        }
+        let n = &mut self.nodes[node];
+        let core = Core::new(*n.core.config());
+        n.workers.push(Worker { core, stack, app });
+        n.sw_scheduled.push(false);
+        n.sw_waiting.push(false);
+        let nq = n.nic.num_queues();
+        let nlcores = n.lcores();
+        assert!(
+            nlcores <= nq,
+            "{nlcores} lcores need at least as many NIC queues (have {nq})"
+        );
+        for lcore in 0..nlcores {
+            let queues: Vec<usize> = (0..nq).filter(|q| q % nlcores == lcore).collect();
+            if lcore == 0 {
+                n.stack.assign_queues(queues);
+            } else {
+                n.workers[lcore - 1].stack.assign_queues(queues);
+            }
+        }
+        n.mem.set_num_cores(nlcores);
     }
 
     /// Installs a fault injector (see `simnet_sim::fault`). Clones of the
@@ -541,9 +673,11 @@ impl Simulation {
         }
         self.started = true;
         for node in 0..self.nodes.len() {
-            self.queue
-                .schedule_with_priority(0, Priority::CPU, Ev::Software { node });
-            self.nodes[node].sw_scheduled = true;
+            for lcore in 0..self.nodes[node].lcores() {
+                self.queue
+                    .schedule_with_priority(0, Priority::CPU, Ev::Software { node, lcore });
+                self.nodes[node].sw_scheduled[lcore] = true;
+            }
         }
         if let Some(lg) = &self.loadgen {
             if let Some(t) = lg.next_departure(0) {
@@ -568,10 +702,10 @@ impl Simulation {
             Ev::LoadGenTx => self.handle_loadgen_tx(now),
             Ev::NicRx { node, packet } => self.handle_nic_rx(now, node, packet),
             Ev::LoadGenRx { packet } => self.handle_loadgen_rx(now, packet),
-            Ev::RxDma { node } => self.handle_rx_dma(now, node),
-            Ev::TxDma { node } => self.handle_tx_dma(now, node),
+            Ev::RxDma { node, queue } => self.handle_rx_dma(now, node, queue),
+            Ev::TxDma { node, queue } => self.handle_tx_dma(now, node, queue),
             Ev::TxWire { node } => self.handle_tx_wire(now, node),
-            Ev::Software { node } => self.handle_software(now, node),
+            Ev::Software { node, lcore } => self.handle_software(now, node, lcore),
             Ev::RxBurst { node, burst } => {
                 self.handle_burst(now, BurstSink::Nic { node }, burst, until)
             }
@@ -759,6 +893,10 @@ impl Simulation {
             node.mem.reset_stats();
             node.core.reset_stats();
             node.stack.reset_stats();
+            for w in &mut node.workers {
+                w.core.reset_stats();
+                w.stack.reset_stats();
+            }
             node.out_link.reset_stats();
         }
         if let Some(lg) = &mut self.loadgen {
@@ -837,77 +975,88 @@ impl Simulation {
     }
 
     fn maybe_kick_rx_dma(&mut self, now: Tick, node: usize) {
-        // Evaluate unconditionally: `rx_dma_needs_kick` also settles
+        // Evaluate unconditionally: `rx_dma_needs_kick_q` also settles
         // time-deferred descriptor posts, which the drop-classification
         // FSM must observe at packet-arrival granularity.
-        let needs = self.nodes[node].nic.rx_dma_needs_kick(now);
-        if !self.nodes[node].rx_dma_scheduled && needs {
-            self.nodes[node].rx_dma_scheduled = true;
-            self.queue
-                .schedule_with_priority(now, Priority::DMA, Ev::RxDma { node });
+        for queue in 0..self.nodes[node].nic.num_queues() {
+            let needs = self.nodes[node].nic.rx_dma_needs_kick_q(queue, now);
+            if !self.nodes[node].rx_dma_scheduled[queue] && needs {
+                self.nodes[node].rx_dma_scheduled[queue] = true;
+                self.queue
+                    .schedule_with_priority(now, Priority::DMA, Ev::RxDma { node, queue });
+            }
         }
     }
 
     fn maybe_kick_tx_dma(&mut self, at: Tick, node: usize) {
-        if !self.nodes[node].tx_dma_scheduled && self.nodes[node].nic.tx_dma_needs_kick() {
-            self.nodes[node].tx_dma_scheduled = true;
-            self.queue.schedule_with_priority(
-                at.max(self.queue.now()),
-                Priority::DMA,
-                Ev::TxDma { node },
-            );
+        for queue in 0..self.nodes[node].nic.num_queues() {
+            if !self.nodes[node].tx_dma_scheduled[queue]
+                && self.nodes[node].nic.tx_dma_needs_kick_q(queue)
+            {
+                self.nodes[node].tx_dma_scheduled[queue] = true;
+                self.queue.schedule_with_priority(
+                    at.max(self.queue.now()),
+                    Priority::DMA,
+                    Ev::TxDma { node, queue },
+                );
+            }
         }
     }
 
-    fn handle_rx_dma(&mut self, now: Tick, node: usize) {
-        self.nodes[node].rx_dma_scheduled = false;
+    fn handle_rx_dma(&mut self, now: Tick, node: usize, queue: usize) {
+        self.nodes[node].rx_dma_scheduled[queue] = false;
         let n = &mut self.nodes[node];
-        let next_dbg = n.nic.rx_dma_advance(now, &mut n.mem);
+        let next_dbg = n.nic.rx_dma_advance_q(queue, now, &mut n.mem);
         if std::env::var_os("SIMNET_TRACE_RXDMA").is_some() {
             let (brx, btx) = n.mem.io_busy_horizons();
-            eprintln!("rxdma t={now} next={next_dbg:?} busyrx={brx} busytx={btx}");
+            eprintln!("rxdma t={now} q={queue} next={next_dbg:?} busyrx={brx} busytx={btx}");
         }
         if let Some(next) = next_dbg {
-            n.rx_dma_scheduled = true;
-            self.queue
-                .schedule_with_priority(next.max(now), Priority::DMA, Ev::RxDma { node });
-        } else if n.nic.rx_dma_needs_kick(now) {
+            n.rx_dma_scheduled[queue] = true;
+            self.queue.schedule_with_priority(
+                next.max(now),
+                Priority::DMA,
+                Ev::RxDma { node, queue },
+            );
+        } else if n.nic.rx_dma_needs_kick_q(queue, now) {
             // Work is pending but the engine refused to start — a cleared
             // bus-master enable. Retry when the fault window closes.
             if let Some(end) = self.faults.master_window_end(now) {
-                n.rx_dma_scheduled = true;
+                n.rx_dma_scheduled[queue] = true;
                 self.queue.schedule_with_priority(
                     end.max(now + 1),
                     Priority::DMA,
-                    Ev::RxDma { node },
+                    Ev::RxDma { node, queue },
                 );
             }
         }
         self.wake_software_for_rx(now, node);
     }
 
-    /// If the software loop went to sleep, wake it when packets become
-    /// visible (paying the stack's interrupt/wakeup latency).
+    /// If a worker's software loop went to sleep, wake it when packets
+    /// become visible on one of its queues (paying the stack's
+    /// interrupt/wakeup latency).
     fn wake_software_for_rx(&mut self, now: Tick, node: usize) {
-        let n = &mut self.nodes[node];
-        if !n.sw_waiting || n.sw_scheduled {
-            return;
-        }
-        if let Some(visible) = n.nic.rx_next_visible_at() {
-            let at = visible.max(now) + n.stack.wakeup_latency();
-            n.sw_waiting = false;
-            n.sw_scheduled = true;
+        for lcore in 0..self.nodes[node].lcores() {
+            let n = &self.nodes[node];
+            if !n.sw_waiting[lcore] || n.sw_scheduled[lcore] {
+                continue;
+            }
+            let Some(visible) = n.rx_next_visible_for(lcore) else {
+                continue;
+            };
+            let at = visible.max(now) + n.wakeup_latency_of(lcore);
+            let n = &mut self.nodes[node];
+            n.sw_waiting[lcore] = false;
+            n.sw_scheduled[lcore] = true;
             self.queue
-                .schedule_with_priority(at, Priority::CPU, Ev::Software { node });
+                .schedule_with_priority(at, Priority::CPU, Ev::Software { node, lcore });
         }
     }
 
-    fn handle_software(&mut self, now: Tick, node: usize) {
-        self.nodes[node].sw_scheduled = false;
-        let n = &mut self.nodes[node];
-        let iteration = n
-            .stack
-            .iteration(now, &mut n.nic, &mut n.core, &mut n.mem, n.app.as_mut());
+    fn handle_software(&mut self, now: Tick, node: usize, lcore: usize) {
+        self.nodes[node].sw_scheduled[lcore] = false;
+        let iteration = self.nodes[node].run_lcore(now, lcore);
         let end = iteration.end.max(now);
 
         // TX submissions and RX ring posts happened inside the iteration.
@@ -916,32 +1065,32 @@ impl Simulation {
 
         let n = &mut self.nodes[node];
         if !iteration.idle {
-            n.sw_scheduled = true;
+            n.sw_scheduled[lcore] = true;
             self.queue
-                .schedule_with_priority(end, Priority::CPU, Ev::Software { node });
+                .schedule_with_priority(end, Priority::CPU, Ev::Software { node, lcore });
             return;
         }
 
-        // Idle: sleep until the NIC makes something visible or the client
-        // app wants to transmit.
+        // Idle: sleep until the NIC makes something visible on one of
+        // this lcore's queues or its client app wants to transmit.
         let mut wake: Option<Tick> = None;
-        if let Some(visible) = n.nic.rx_next_visible_at() {
-            wake = Some(visible.max(end) + n.stack.wakeup_latency());
+        if let Some(visible) = n.rx_next_visible_for(lcore) {
+            wake = Some(visible.max(end) + n.wakeup_latency_of(lcore));
         }
-        if let Some(tx_at) = n.app.next_tx_at(end) {
+        if let Some(tx_at) = n.next_tx_of(lcore, end) {
             let candidate = tx_at.max(end);
             wake = Some(wake.map_or(candidate, |w| w.min(candidate)));
         }
         match wake {
             Some(at) => {
-                n.sw_scheduled = true;
+                n.sw_scheduled[lcore] = true;
                 self.queue.schedule_with_priority(
                     at.max(end),
                     Priority::CPU,
-                    Ev::Software { node },
+                    Ev::Software { node, lcore },
                 );
             }
-            None => n.sw_waiting = true,
+            None => n.sw_waiting[lcore] = true,
         }
     }
 
@@ -1015,6 +1164,8 @@ impl Simulation {
             SampleValue::Int(pool.in_use),
             SampleValue::Int(pool.high_water),
             SampleValue::Int(pool.heap_fallback),
+            SampleValue::Int(n.nic.rx_fifo_used_max()),
+            SampleValue::Int(n.nic.rx_visible_len_max() as u64),
         ]);
         sampler.prev = cur;
         sampler.last_sample = Some(now);
@@ -1032,20 +1183,23 @@ impl Simulation {
         }
     }
 
-    fn handle_tx_dma(&mut self, now: Tick, node: usize) {
-        self.nodes[node].tx_dma_scheduled = false;
+    fn handle_tx_dma(&mut self, now: Tick, node: usize, queue: usize) {
+        self.nodes[node].tx_dma_scheduled[queue] = false;
         let n = &mut self.nodes[node];
-        if let Some(next) = n.nic.tx_dma_advance(now, &mut n.mem) {
-            n.tx_dma_scheduled = true;
-            self.queue
-                .schedule_with_priority(next.max(now), Priority::DMA, Ev::TxDma { node });
-        } else if n.nic.tx_dma_needs_kick() {
+        if let Some(next) = n.nic.tx_dma_advance_q(queue, now, &mut n.mem) {
+            n.tx_dma_scheduled[queue] = true;
+            self.queue.schedule_with_priority(
+                next.max(now),
+                Priority::DMA,
+                Ev::TxDma { node, queue },
+            );
+        } else if n.nic.tx_dma_needs_kick_q(queue) {
             if let Some(end) = self.faults.master_window_end(now) {
-                n.tx_dma_scheduled = true;
+                n.tx_dma_scheduled[queue] = true;
                 self.queue.schedule_with_priority(
                     end.max(now + 1),
                     Priority::DMA,
-                    Ev::TxDma { node },
+                    Ev::TxDma { node, queue },
                 );
             }
         }
@@ -1135,7 +1289,7 @@ mod tests {
         // inline drain (the kick dispatches before the next arrival in
         // the scalar schedule). Adjacency only exists while the engine
         // is already churning through a backlog.
-        sim.nodes[0].rx_dma_scheduled = true;
+        sim.nodes[0].rx_dma_scheduled[0] = true;
         let mut burst = Box::new(Burst::new());
         for &t in ticks {
             let seq = sim.queue.reserve_seq();

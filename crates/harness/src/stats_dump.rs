@@ -49,6 +49,23 @@ pub fn build_registry(sim: &Simulation, node: usize, level: DumpLevel) -> StatsR
     if let Some(stack_stats) = n.stack.stats() {
         stack_stats.register_stats(&mut reg);
     }
+    // Multi-lcore runs additionally get per-lcore CPU and stack sections
+    // (lcore0 is the node's own core; workers are lcore1..). Absent in
+    // single-lcore runs, so the compat dump stays byte-identical.
+    if !n.workers.is_empty() {
+        n.core.register_stats_at("system.cpu.lcore0", &mut reg);
+        if let Some(stack_stats) = n.stack.stats() {
+            stack_stats.register_stats_at("system.stack.lcore0", &mut reg);
+        }
+        for (i, w) in n.workers.iter().enumerate() {
+            let lcore = i + 1;
+            w.core
+                .register_stats_at(&format!("system.cpu.lcore{lcore}"), &mut reg);
+            if let Some(stack_stats) = w.stack.stats() {
+                stack_stats.register_stats_at(&format!("system.stack.lcore{lcore}"), &mut reg);
+            }
+        }
+    }
     n.nic.pci_config().stats().register_stats(&mut reg);
 
     let injector = sim.fault_injector();

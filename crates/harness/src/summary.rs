@@ -100,7 +100,7 @@ pub fn run_phases(sim: &mut Simulation, phases: Phases) -> RunSummary {
             )
         });
 
-    let ring = node.nic.config().rx_ring_size.max(1);
+    let ring = (node.nic.config().rx_ring_size * node.nic.num_queues()).max(1);
     RunSummary {
         rx_backlog_ratio: node.nic.rx_visible_len() as f64 / ring as f64,
         drop_rate: fsm.drop_rate(),

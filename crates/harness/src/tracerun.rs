@@ -25,7 +25,6 @@ use simnet_sim::Tick;
 
 use crate::config::SystemConfig;
 use crate::msb::{AppSpec, RunConfig};
-use crate::sim::Simulation;
 use crate::summary::{run_phases, RunSummary};
 
 /// Default trace ring capacity: large enough to hold every event of a
@@ -42,7 +41,7 @@ pub struct TraceOpts {
     /// Fault injector to install before the run starts. Use
     /// [`FaultInjector::disabled`] for a clean run.
     pub faults: FaultInjector,
-    /// Wire-delivery coalescing factor (see [`Simulation::set_burst`]);
+    /// Wire-delivery coalescing factor (see [`crate::Simulation::set_burst`]);
     /// `1` runs the exact scalar event schedule.
     pub burst: usize,
 }
@@ -96,7 +95,7 @@ pub struct ObserveOpts {
     pub stats_interval: Option<Tick>,
     /// Attach the self-profiler to the event loop.
     pub profile: bool,
-    /// Wire-delivery coalescing factor (see [`Simulation::set_burst`]);
+    /// Wire-delivery coalescing factor (see [`crate::Simulation::set_burst`]);
     /// `1` runs the exact scalar event schedule.
     pub burst: usize,
 }
@@ -152,9 +151,7 @@ pub fn run_observed(
         (Some(cap), true) => offered.min(cap / 1_000.0),
         (None, _) => offered,
     };
-    let (stack, app) = spec.instantiate(cfg.seed);
-    let loadgen = spec.loadgen(cfg, size, offered);
-    let mut sim = Simulation::loadgen_mode(cfg, stack, app, loadgen);
+    let mut sim = crate::msb::build_loadgen_sim(cfg, spec, size, offered);
     sim.set_burst(opts.burst);
     sim.install_faults(opts.faults);
     if let Some((capacity, mask)) = opts.trace {

@@ -117,6 +117,16 @@ impl EtherLoadGen {
         self.limit = Some(count);
     }
 
+    /// In memcached mode, steers each request's source port so the
+    /// server NIC's RSS hash lands the request on the queue owning its
+    /// key's shard (`ports[q]` must hash to queue `q`; see
+    /// `simnet_net::rss::ports_for_queues`). No-op in other modes.
+    pub fn set_memcached_shard_ports(&mut self, ports: Vec<u16>) {
+        if let LoadGenMode::Memcached(cfg) = &mut self.mode {
+            cfg.shard_ports = Some(ports);
+        }
+    }
+
     /// The tick at which the next packet wants to depart, or `None` if
     /// generation is finished or blocked on the closed-loop window.
     pub fn next_departure(&self, now: Tick) -> Option<Tick> {

@@ -38,6 +38,10 @@ pub struct MemcachedClientConfig {
     pub server_mac: MacAddr,
     /// Client MAC.
     pub client_mac: MacAddr,
+    /// Per-key source ports steering each request onto the RSS queue
+    /// that owns the key's shard (index = `key_shard(key, len)`). `None`
+    /// sends every request from the single legacy source port.
+    pub shard_ports: Option<Vec<u16>>,
     /// Send timestamps of outstanding requests, indexed by request id
     /// (a flat array beats a hash map in the per-request hot path;
     /// [`NO_REQUEST`] marks free slots).
@@ -69,6 +73,7 @@ impl MemcachedClientConfig {
             lengths: Zipf::paper_lengths(),
             server_mac,
             client_mac,
+            shard_ports: None,
             outstanding: vec![NO_REQUEST; 1 << 16],
             outstanding_count: 0,
             value_scratch: Vec::new(),
@@ -112,10 +117,14 @@ impl MemcachedClientConfig {
         };
         let datagram_len = request_datagram_len(&request);
         let natural = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN + datagram_len;
+        let src_port = match &self.shard_ports {
+            Some(ports) => ports[simnet_net::rss::key_shard(&key, ports.len())],
+            None => 40_000,
+        };
         let packet = PacketBuilder::new()
             .dst(self.server_mac)
             .src(self.client_mac)
-            .udp([10, 0, 0, 2], [10, 0, 0, 1], 40_000, 11_211)
+            .udp([10, 0, 0, 2], [10, 0, 0, 1], src_port, 11_211)
             .frame_len(natural.max(MIN_FRAME_LEN))
             .build_with(id, datagram_len, |buf| {
                 encode_request_datagram_into(buf, request_id, &request);

@@ -125,6 +125,23 @@ impl Default for MemoryConfig {
     }
 }
 
+/// One core's private cache slice: L1I, L1D, and unified L2.
+struct CoreCaches {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+}
+
+impl CoreCaches {
+    fn new(cfg: &MemoryConfig) -> Self {
+        Self {
+            l1i: Cache::new("l1i", cfg.l1i),
+            l1d: Cache::new("l1d", cfg.l1d),
+            l2: Cache::new("l2", cfg.l2),
+        }
+    }
+}
+
 /// The complete memory system.
 ///
 /// ```
@@ -139,9 +156,11 @@ impl Default for MemoryConfig {
 pub struct MemorySystem {
     cfg: MemoryConfig,
     core_freq: Frequency,
-    l1i: Cache,
-    l1d: Cache,
-    l2: Cache,
+    /// Private per-core hierarchies; index = lcore. One entry reproduces
+    /// the single-core system exactly.
+    cores: Vec<CoreCaches>,
+    /// Which core's private caches the next `core_*` access uses.
+    active: usize,
     llc: Cache,
     dram: DramController,
     io_rx: Bus,
@@ -154,9 +173,8 @@ impl MemorySystem {
     /// Builds the hierarchy from a configuration.
     pub fn new(cfg: MemoryConfig) -> Self {
         Self {
-            l1i: Cache::new("l1i", cfg.l1i),
-            l1d: Cache::new("l1d", cfg.l1d),
-            l2: Cache::new("l2", cfg.l2),
+            cores: vec![CoreCaches::new(&cfg)],
+            active: 0,
             llc: Cache::new("llc", cfg.llc),
             dram: DramController::new(cfg.dram),
             io_rx: Bus::new("io-rx", cfg.io_bandwidth, cfg.io_overhead),
@@ -166,6 +184,28 @@ impl MemorySystem {
             faults: FaultInjector::disabled(),
             cfg,
         }
+    }
+
+    /// Rebuilds the private hierarchies for `n` cores (fresh, cold).
+    /// Call once at construction, before any traffic; the shared LLC,
+    /// DRAM, and I/O buses are untouched.
+    pub fn set_num_cores(&mut self, n: usize) {
+        assert!(n > 0, "need at least one core");
+        self.cores = (0..n).map(|_| CoreCaches::new(&self.cfg)).collect();
+        self.active = 0;
+    }
+
+    /// Number of private cache slices.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Selects which core's private caches subsequent `core_*` accesses
+    /// use. The harness calls this when it switches lcores; single-core
+    /// systems never do.
+    pub fn set_active_core(&mut self, core: usize) {
+        assert!(core < self.cores.len(), "core {core} out of range");
+        self.active = core;
     }
 
     /// The configuration this system was built from.
@@ -234,14 +274,24 @@ impl MemorySystem {
         self.llc.stats()
     }
 
-    /// L2 statistics.
+    /// L2 statistics (core 0 — the legacy single-core accessor).
     pub fn l2_stats(&self) -> &crate::cache::CacheStats {
-        self.l2.stats()
+        self.cores[0].l2.stats()
     }
 
-    /// L1D statistics.
+    /// L1D statistics (core 0).
     pub fn l1d_stats(&self) -> &crate::cache::CacheStats {
-        self.l1d.stats()
+        self.cores[0].l1d.stats()
+    }
+
+    /// L2 statistics of a specific core.
+    pub fn l2_stats_of(&self, core: usize) -> &crate::cache::CacheStats {
+        self.cores[core].l2.stats()
+    }
+
+    /// L1D statistics of a specific core.
+    pub fn l1d_stats_of(&self, core: usize) -> &crate::cache::CacheStats {
+        self.cores[core].l1d.stats()
     }
 
     /// DRAM statistics.
@@ -270,11 +320,21 @@ impl MemorySystem {
     /// the bus utilization fractions.
     pub fn register_stats(&self, now: Tick, reg: &mut simnet_sim::stats::StatsRegistry) {
         for (name, stats) in [
-            ("system.cpu.dcache", self.l1d.stats()),
-            ("system.cpu.l2cache", self.l2.stats()),
+            ("system.cpu.dcache", self.cores[0].l1d.stats()),
+            ("system.cpu.l2cache", self.cores[0].l2.stats()),
             ("system.llc", self.llc.stats()),
         ] {
             reg.scoped(name, |reg| stats.register_stats(reg));
+        }
+        if self.cores.len() > 1 {
+            for (i, core) in self.cores.iter().enumerate() {
+                reg.scoped(format!("system.cpu.lcore{i}.dcache"), |reg| {
+                    core.l1d.stats().register_stats(reg);
+                });
+                reg.scoped(format!("system.cpu.lcore{i}.l2cache"), |reg| {
+                    core.l2.stats().register_stats(reg);
+                });
+            }
         }
         self.dram.stats().register_stats(reg);
         for (name, bus) in [
@@ -293,16 +353,20 @@ impl MemorySystem {
     ///
     /// Returns the first violating line.
     pub fn verify_inclusion(&self) -> Result<(), String> {
-        for (upper_name, upper) in [("l1d", &self.l1d), ("l1i", &self.l1i)] {
-            for line in upper.resident_lines() {
-                if !self.l2.probe(line) {
-                    return Err(format!("{upper_name} line {line:#x} missing from l2"));
+        for (c, core) in self.cores.iter().enumerate() {
+            for (upper_name, upper) in [("l1d", &core.l1d), ("l1i", &core.l1i)] {
+                for line in upper.resident_lines() {
+                    if !core.l2.probe(line) {
+                        return Err(format!(
+                            "core {c} {upper_name} line {line:#x} missing from l2"
+                        ));
+                    }
                 }
             }
-        }
-        for line in self.l2.resident_lines() {
-            if !self.llc.probe(line) {
-                return Err(format!("l2 line {line:#x} missing from llc"));
+            for line in core.l2.resident_lines() {
+                if !self.llc.probe(line) {
+                    return Err(format!("core {c} l2 line {line:#x} missing from llc"));
+                }
             }
         }
         Ok(())
@@ -310,9 +374,11 @@ impl MemorySystem {
 
     /// Clears all statistics after warm-up; cache/row state persists.
     pub fn reset_stats(&mut self) {
-        self.l1i.reset_stats();
-        self.l1d.reset_stats();
-        self.l2.reset_stats();
+        for core in &mut self.cores {
+            core.l1i.reset_stats();
+            core.l1d.reset_stats();
+            core.l2.reset_stats();
+        }
         self.llc.reset_stats();
         self.dram.reset_stats();
         self.io_rx.reset_stats();
@@ -373,14 +439,18 @@ impl MemorySystem {
         } else {
             self.cfg.l1d_cycles
         };
-        let l1 = if instr { &mut self.l1i } else { &mut self.l1d };
+        let core = &mut self.cores[self.active];
+        let l1 = if instr { &mut core.l1i } else { &mut core.l1d };
         if l1.lookup(line, AccessClass::Core, write) {
             return (self.cycles(l1_cycles), HitLevel::L1);
         }
         let l1_lat = self.cycles(l1_cycles);
         let l2_lat = l1_lat + self.cycles(self.cfg.l2_cycles);
 
-        if self.l2.lookup(line, AccessClass::Core, false) {
+        if self.cores[self.active]
+            .l2
+            .lookup(line, AccessClass::Core, false)
+        {
             self.fill_l1(line, instr, write);
             return (l2_lat, HitLevel::L2);
         }
@@ -402,18 +472,22 @@ impl MemorySystem {
     }
 
     fn fill_l1(&mut self, line: Addr, instr: bool, dirty: bool) {
-        let l1 = if instr { &mut self.l1i } else { &mut self.l1d };
+        let core = &mut self.cores[self.active];
+        let l1 = if instr { &mut core.l1i } else { &mut core.l1d };
         match l1.fill(line, AccessClass::Core, dirty) {
             Eviction::Dirty(victim) => {
                 // Inclusive hierarchy: the victim is in L2; propagate dirt.
-                self.l2.fill(victim, AccessClass::Core, true);
+                core.l2.fill(victim, AccessClass::Core, true);
             }
             Eviction::Clean(_) | Eviction::None => {}
         }
     }
 
     fn fill_l2(&mut self, line: Addr, dirty: bool) {
-        match self.l2.fill(line, AccessClass::Core, dirty) {
+        match self.cores[self.active]
+            .l2
+            .fill(line, AccessClass::Core, dirty)
+        {
             Eviction::Dirty(victim) => {
                 self.back_invalidate_l1(victim);
                 self.llc.fill(victim, AccessClass::Core, true);
@@ -438,16 +512,24 @@ impl MemorySystem {
         }
     }
 
+    /// Private-L2 eviction: only the evicting (active) core's L1s can
+    /// hold the victim (its L2 is inclusive of them alone).
     fn back_invalidate_l1(&mut self, line: Addr) {
-        self.l1d.invalidate(line);
-        self.l1i.invalidate(line);
+        let core = &mut self.cores[self.active];
+        core.l1d.invalidate(line);
+        core.l1i.invalidate(line);
     }
 
+    /// Shared-LLC eviction: the victim may be cached by *any* core —
+    /// coherence kills every private copy.
     fn back_invalidate_l2(&mut self, line: Addr) {
-        if let Some(dirty) = self.l2.invalidate(line) {
-            let _ = dirty; // the LLC copy is being evicted with it
+        for core in &mut self.cores {
+            if let Some(dirty) = core.l2.invalidate(line) {
+                let _ = dirty; // the LLC copy is being evicted with it
+            }
+            core.l1d.invalidate(line);
+            core.l1i.invalidate(line);
         }
-        self.back_invalidate_l1(line);
     }
 
     /// NIC DMA write of `size` bytes at `addr` (packet RX data or
@@ -471,10 +553,12 @@ impl MemorySystem {
         let mut done = t_bus;
         for i in 0..lines {
             let line = first + i * CACHE_LINE;
-            // Coherence: stale upper-level copies die.
-            self.l1d.invalidate(line);
-            self.l1i.invalidate(line);
-            self.l2.invalidate(line);
+            // Coherence: stale upper-level copies die in every core.
+            for core in &mut self.cores {
+                core.l1d.invalidate(line);
+                core.l1i.invalidate(line);
+                core.l2.invalidate(line);
+            }
             if dca {
                 match self.llc.fill(line, AccessClass::Dma, true) {
                     Eviction::Dirty(victim) => {
@@ -525,9 +609,11 @@ impl MemorySystem {
         let mut done = t_bus;
         for i in 0..lines {
             let line = first + i * CACHE_LINE;
-            self.l1d.invalidate(line);
-            self.l1i.invalidate(line);
-            self.l2.invalidate(line);
+            for core in &mut self.cores {
+                core.l1d.invalidate(line);
+                core.l1i.invalidate(line);
+                core.l2.invalidate(line);
+            }
             if self.cfg.dca_enabled {
                 match self.llc.fill(line, AccessClass::Dma, true) {
                     Eviction::Dirty(victim) => {
@@ -600,8 +686,9 @@ impl MemorySystem {
 impl std::fmt::Debug for MemorySystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MemorySystem")
-            .field("l1d", &self.l1d)
-            .field("l2", &self.l2)
+            .field("cores", &self.cores.len())
+            .field("l1d", &self.cores[0].l1d)
+            .field("l2", &self.cores[0].l2)
             .field("llc", &self.llc)
             .field("dca", &self.cfg.dca_enabled)
             .finish()
@@ -783,6 +870,38 @@ mod tests {
             "system.iobus.tx.bytes",
         ] {
             assert!(reg.get(path).is_some(), "missing {path}");
+        }
+    }
+
+    #[test]
+    fn per_core_private_caches_are_isolated() {
+        let mut mem = system();
+        mem.set_num_cores(2);
+        let addr = 0xB000_0000;
+        mem.set_active_core(0);
+        mem.core_read(0, addr, 8); // DRAM fill into core 0's slice + LLC
+        mem.set_active_core(1);
+        let (_, level) = mem.core_read(1000, addr, 8);
+        assert_eq!(level, HitLevel::Llc, "core 1 misses privately, hits LLC");
+        let (_, level) = mem.core_read(2000, addr, 8);
+        assert_eq!(level, HitLevel::L1);
+        mem.verify_inclusion().unwrap();
+    }
+
+    #[test]
+    fn dma_write_invalidates_every_core() {
+        let mut mem = system();
+        mem.set_num_cores(2);
+        let addr = layout::mbuf_addr(3);
+        for c in 0..2 {
+            mem.set_active_core(c);
+            mem.core_read(0, addr, 8);
+        }
+        mem.dma_write(1_000_000, addr, 64);
+        for c in 0..2 {
+            mem.set_active_core(c);
+            let (_, level) = mem.core_read(2_000_000, addr, 8);
+            assert_eq!(level, HitLevel::Llc, "core {c} stale copy must die");
         }
     }
 

@@ -17,6 +17,8 @@
 //!   [`Packet`] storage.
 //! * [`burst`] — the [`Burst`] carrier moving batches of wire
 //!   deliveries as single events, DPDK-`rx_burst`-style.
+//! * [`rss`] — the Toeplitz receive-side-scaling hash steering flows to
+//!   RX queues.
 //! * [`timestamp`] — the load generator's in-payload timestamps (§IV).
 //! * [`pcap`] — PCAP file reading/writing (tcpdump/dpdk-pdump stand-in).
 //! * [`proto`] — application protocols (memcached-over-UDP).
@@ -30,6 +32,7 @@ pub mod packet;
 pub mod pcap;
 pub mod pool;
 pub mod proto;
+pub mod rss;
 pub mod tcp;
 pub mod timestamp;
 pub mod udp;

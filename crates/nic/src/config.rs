@@ -7,8 +7,13 @@ use crate::regs::NicCompatMode;
 /// Parameters of the simulated i8254x-style NIC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NicConfig {
-    /// RX descriptor ring entries (Fig. 13 uses 4096).
+    /// RX descriptor ring entries (Fig. 13 uses 4096). With multiple
+    /// queues, *each* queue gets a ring of this many entries.
     pub rx_ring_size: usize,
+    /// RX/TX queue pairs. 1 reproduces the single-ring i8254x exactly;
+    /// 2..=8 enables RSS steering across per-queue rings and FIFO
+    /// partitions (82574/82599-style multi-queue).
+    pub num_queues: usize,
     /// TX descriptor ring entries.
     pub tx_ring_size: usize,
     /// On-chip RX FIFO capacity in bytes.
@@ -40,6 +45,7 @@ impl NicConfig {
     pub fn paper_default() -> Self {
         Self {
             rx_ring_size: 1024,
+            num_queues: 1,
             tx_ring_size: 1024,
             rx_fifo_bytes: 192 << 10,
             tx_fifo_bytes: 96 << 10,
@@ -55,6 +61,12 @@ impl NicConfig {
     /// Returns this configuration with a different RX ring size.
     pub fn with_rx_ring(mut self, entries: usize) -> Self {
         self.rx_ring_size = entries;
+        self
+    }
+
+    /// Returns this configuration with a different RX/TX queue count.
+    pub fn with_queues(mut self, queues: usize) -> Self {
+        self.num_queues = queues;
         self
     }
 
@@ -85,6 +97,20 @@ impl NicConfig {
             self.wb_threshold > 0,
             "writeback threshold must be positive"
         );
+        assert!(
+            (1..=8).contains(&self.num_queues),
+            "queue count must be 1..=8"
+        );
+        assert!(
+            self.num_queues * self.rx_ring_size <= 8192,
+            "total RX descriptors must fit the global mbuf index space \
+             below the stack mempools (8192 buffers)"
+        );
+        assert!(
+            self.rx_fifo_bytes as usize >= self.num_queues
+                && self.tx_fifo_bytes as usize >= self.num_queues,
+            "per-queue FIFO partitions must be non-empty"
+        );
     }
 }
 
@@ -110,6 +136,28 @@ mod tests {
             .with_wb_threshold(0);
         assert_eq!(cfg.rx_ring_size, 4096);
         assert_eq!(cfg.wb_threshold, 1); // floored
+    }
+
+    #[test]
+    fn queue_builder_validates() {
+        for n in 1..=8 {
+            NicConfig::paper_default().with_queues(n).validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "queue count")]
+    fn queue_count_is_bounded() {
+        NicConfig::paper_default().with_queues(9).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "global mbuf index space")]
+    fn total_descriptors_bounded_by_mbuf_space() {
+        NicConfig::paper_default()
+            .with_rx_ring(4096)
+            .with_queues(4)
+            .validate();
     }
 
     #[test]

@@ -35,6 +35,9 @@ pub mod offsets {
     pub const TDH: u32 = 0x3810;
     /// TX descriptor tail.
     pub const TDT: u32 = 0x3818;
+    /// Multiple receive queues command — RSS enable + active queue count
+    /// (82574/82599-style; zero means single-queue legacy operation).
+    pub const MRQC: u32 = 0x5818;
 }
 
 /// Interrupt cause / mask bits (subset).
@@ -96,6 +99,7 @@ pub struct RegisterFile {
     tdh: u32,
     tdt: u32,
     wbthresh: u32,
+    mrqc: u32,
 }
 
 impl RegisterFile {
@@ -113,6 +117,7 @@ impl RegisterFile {
             tdh: 0,
             tdt: 0,
             wbthresh: 4,
+            mrqc: 0,
         }
     }
 
@@ -139,6 +144,12 @@ impl RegisterFile {
     /// The configured descriptor writeback threshold.
     pub fn writeback_threshold(&self) -> usize {
         self.wbthresh.max(1) as usize
+    }
+
+    /// The RSS queue count programmed into MRQC (0 = legacy
+    /// single-queue).
+    pub fn rss_queues(&self) -> usize {
+        self.mrqc as usize
     }
 
     /// MMIO read.
@@ -168,6 +179,7 @@ impl RegisterFile {
             TDLEN => Ok(self.tdlen),
             TDH => Ok(self.tdh),
             TDT => Ok(self.tdt),
+            MRQC => Ok(self.mrqc),
             other => Err(RegError::Unknown(other)),
         }
     }
@@ -198,6 +210,7 @@ impl RegisterFile {
             TDLEN => self.tdlen = value,
             TDH => self.tdh = value,
             TDT => self.tdt = value,
+            MRQC => self.mrqc = value,
             STATUS => {} // read-only, write dropped
             other => return Err(RegError::Unknown(other)),
         }
@@ -256,10 +269,18 @@ mod tests {
     #[test]
     fn ring_registers_round_trip() {
         let mut r = RegisterFile::default();
-        for off in [RDLEN, RDH, RDT, TDLEN, TDH, TDT, WBTHRESH] {
+        for off in [RDLEN, RDH, RDT, TDLEN, TDH, TDT, WBTHRESH, MRQC] {
             r.write(off, 0x123).unwrap();
             assert_eq!(r.read(off).unwrap(), 0x123);
         }
+    }
+
+    #[test]
+    fn mrqc_defaults_to_legacy_single_queue() {
+        let mut r = RegisterFile::default();
+        assert_eq!(r.rss_queues(), 0);
+        r.write(MRQC, 4).unwrap();
+        assert_eq!(r.rss_queues(), 4);
     }
 
     #[test]

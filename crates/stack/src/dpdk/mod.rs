@@ -67,10 +67,16 @@ pub struct DpdkStack {
     ws: FootprintStream,
     /// Instruction footprint.
     code: FootprintStream,
-    tx_backlog: Vec<TxRequest>,
+    /// NIC queues this lcore's loop polls (RSS share). `[0]` is the
+    /// single-queue legacy assignment.
+    queues: Vec<usize>,
+    /// Rejected TX requests tagged with their queue, awaiting retry.
+    tx_backlog: Vec<(usize, TxRequest)>,
     ops: Vec<Op>,
     /// Reused RX completion buffer (allocation-free steady state).
     completions: Vec<RxCompletion>,
+    /// Reused per-queue TX staging batches.
+    tx_batches: Vec<Vec<TxRequest>>,
     tracer: Tracer,
     stats: StackStats,
 }
@@ -81,23 +87,39 @@ impl DpdkStack {
         Self::with_costs(DpdkCosts::default(), seed)
     }
 
+    /// Creates a stack instance for worker lcore `lcore`: its mempool,
+    /// data working set, and instruction footprint occupy that lcore's
+    /// private slice of the address map, so per-core cache behaviour is
+    /// honest. `for_lcore(seed, 0)` is exactly `new(seed)`.
+    pub fn for_lcore(seed: u64, lcore: usize) -> Self {
+        Self::with_costs_for_lcore(DpdkCosts::default(), seed, lcore)
+    }
+
     /// Creates the stack with explicit costs.
     pub fn with_costs(costs: DpdkCosts, seed: u64) -> Self {
+        Self::with_costs_for_lcore(costs, seed, 0)
+    }
+
+    /// Creates the stack with explicit costs for a specific lcore.
+    pub fn with_costs_for_lcore(costs: DpdkCosts, seed: u64, lcore: usize) -> Self {
+        let off = lcore as u64 * (64 << 20);
         Self {
             burst: 32,
             costs,
-            mempool: Mempool::new(8192, 4096),
-            ws: FootprintStream::new(layout::WORKSET_BASE, 384 << 10, 0.6, seed ^ 0xD9DA),
+            mempool: Mempool::new(8192 + lcore * 4096, 4096),
+            ws: FootprintStream::new(layout::WORKSET_BASE + off, 384 << 10, 0.6, seed ^ 0xD9DA),
             code: FootprintStream::new(
-                layout::WORKSET_BASE + (8 << 20),
+                layout::WORKSET_BASE + (8 << 20) + off,
                 192 << 10,
                 0.7,
                 seed ^ 0xC0DE,
             ),
             hugepages: true,
+            queues: vec![0],
             tx_backlog: Vec::new(),
             ops: Vec::new(),
             completions: Vec::new(),
+            tx_batches: Vec::new(),
             tracer: Tracer::disabled(),
             stats: StackStats::default(),
         }
@@ -128,6 +150,11 @@ impl NetworkStack for DpdkStack {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn assign_queues(&mut self, queues: Vec<usize>) {
+        assert!(!queues.is_empty(), "an lcore needs at least one queue");
+        self.queues = queues;
     }
 
     fn stats(&self) -> Option<&StackStats> {
@@ -166,24 +193,33 @@ impl DpdkStack {
         let mut ops = std::mem::take(&mut self.ops);
         ops.clear();
 
+        let nq = nic.num_queues();
+        let ring = nic.config().rx_ring_size;
+        let tx_ring = nic.config().tx_ring_size;
+        let total_rx_ring = ring * nq;
+        let total_tx_ring = tx_ring * nq;
+
         // If the TX ring rejected packets earlier, the run-to-completion
         // loop spins on tx_burst before polling RX again — this is the
         // stall that backs pressure up into the RX ring (TxDrops).
         if !self.tx_backlog.is_empty() {
             let backlog = std::mem::take(&mut self.tx_backlog);
-            let (accepted, rejected) = nic.tx_submit(now, backlog);
-            self.tx_backlog = rejected;
+            let mut batches: Vec<Vec<TxRequest>> = (0..nq).map(|_| Vec::new()).collect();
+            for (q, req) in backlog {
+                batches[q].push(req);
+            }
+            let mut accepted = 0;
+            for (q, reqs) in batches.into_iter().enumerate() {
+                if reqs.is_empty() {
+                    continue;
+                }
+                let (a, rejected) = nic.tx_submit_q(q, now, reqs);
+                accepted += a;
+                self.tx_backlog.extend(rejected.into_iter().map(|r| (q, r)));
+            }
             ops.push(Op::Compute(self.costs.tx_flush + 40));
             let end = core.execute(now, &ops, mem);
             self.ops = ops;
-            if !self.tx_backlog.is_empty() {
-                return Iteration {
-                    end,
-                    rx: 0,
-                    tx: accepted,
-                    idle: false,
-                };
-            }
             return Iteration {
                 end,
                 rx: 0,
@@ -192,40 +228,57 @@ impl DpdkStack {
             };
         }
 
-        // rx_burst: poll the next descriptor's DD bit.
+        // rx_burst: poll the next descriptor's DD bit on the lcore's
+        // first queue.
         ops.push(Op::Compute(self.costs.poll_base));
-        ops.push(Op::Load(layout::rx_desc_addr(0, nic.config().rx_ring_size)));
+        ops.push(Op::Load(layout::rx_desc_addr(
+            self.queues[0] * ring,
+            total_rx_ring,
+        )));
 
         let mut completions = std::mem::take(&mut self.completions);
         completions.clear();
-        nic.rx_poll_into(now, self.burst, &mut completions);
-        let ring = nic.config().rx_ring_size;
-        let tx_ring = nic.config().tx_ring_size;
-        let mut tx_requests = Vec::new();
-        let mut tx_slot_cursor = 0usize;
+        for &q in &self.queues {
+            nic.rx_poll_q_into(q, now, self.burst, &mut completions);
+        }
+        let mut tx_batches = std::mem::take(&mut self.tx_batches);
+        tx_batches.resize_with(nq, Vec::new);
+        for batch in &mut tx_batches {
+            batch.clear();
+        }
+        let mut tx_cursors = [0usize; 8];
+        let mut rx_counts = [0usize; 8];
+        let mut tx_total = 0usize;
+        let origin_q = self.queues[0];
 
         // Client-side originations (a software load-generator app on a
-        // Drive Node, Fig. 1a) share the TX path with responses.
-        while tx_requests.len() < self.burst {
+        // Drive Node, Fig. 1a) share the TX path with responses; they go
+        // out on the lcore's first queue.
+        while tx_total < self.burst {
             let Some(packet) = app.poll_tx(now, &mut ops) else {
                 break;
             };
             let mbuf = self.mempool.alloc_cyclic();
             simnet_cpu::ops::stores_over(&mut ops, layout::mbuf_addr(mbuf), packet.len() as u64);
             ops.push(Op::Compute(self.costs.per_tx_packet));
-            ops.push(Op::Store(layout::tx_desc_addr(tx_slot_cursor, tx_ring)));
-            tx_slot_cursor += 1;
+            ops.push(Op::Store(layout::tx_desc_addr(
+                origin_q * tx_ring + tx_cursors[origin_q],
+                total_tx_ring,
+            )));
+            tx_cursors[origin_q] += 1;
             self.tracer
                 .emit(now, packet.id(), Component::App, Stage::AppTx);
-            tx_requests.push(TxRequest { packet, mbuf });
+            tx_batches[origin_q].push(TxRequest { packet, mbuf });
+            tx_total += 1;
         }
 
-        if completions.is_empty() && tx_requests.is_empty() {
+        if completions.is_empty() && tx_total == 0 {
             app.on_idle(&mut ops);
             self.code.emit_ifetches(&mut ops, 1);
             let end = core.execute(now, &ops, mem);
             self.ops = ops;
             self.completions = completions;
+            self.tx_batches = tx_batches;
             return Iteration {
                 end,
                 rx: 0,
@@ -243,10 +296,13 @@ impl DpdkStack {
 
         for completion in completions.drain(..) {
             let slot = completion.slot;
+            // Replies leave on the queue pair the request arrived on.
+            let rxq = slot / ring;
+            rx_counts[rxq] += 1;
             self.tracer
                 .emit(now, completion.packet.id(), Component::Stack, Stage::SwRx);
             let mbuf_addr = layout::mbuf_addr(slot);
-            ops.push(Op::Load(layout::rx_desc_addr(slot, ring)));
+            ops.push(Op::Load(layout::rx_desc_addr(slot, total_rx_ring)));
             ops.push(Op::Compute(self.costs.per_rx_packet));
             self.ws.emit_loads(&mut ops, self.costs.ws_loads_per_packet);
             if !self.hugepages {
@@ -267,11 +323,15 @@ impl DpdkStack {
             match app.on_packet(completion, mbuf_addr, &mut ops) {
                 AppAction::Forward(packet) => {
                     ops.push(Op::Compute(self.costs.per_tx_packet));
-                    ops.push(Op::Store(layout::tx_desc_addr(tx_slot_cursor, tx_ring)));
-                    tx_slot_cursor += 1;
+                    ops.push(Op::Store(layout::tx_desc_addr(
+                        rxq * tx_ring + tx_cursors[rxq],
+                        total_tx_ring,
+                    )));
+                    tx_cursors[rxq] += 1;
                     self.tracer
                         .emit(now, packet.id(), Component::App, Stage::AppTx);
-                    tx_requests.push(TxRequest { packet, mbuf: slot });
+                    tx_batches[rxq].push(TxRequest { packet, mbuf: slot });
+                    tx_total += 1;
                 }
                 AppAction::Respond(packet) => {
                     let mbuf = self.mempool.alloc_cyclic();
@@ -282,31 +342,43 @@ impl DpdkStack {
                         packet.len() as u64,
                     );
                     ops.push(Op::Compute(self.costs.per_tx_packet));
-                    ops.push(Op::Store(layout::tx_desc_addr(tx_slot_cursor, tx_ring)));
-                    tx_slot_cursor += 1;
+                    ops.push(Op::Store(layout::tx_desc_addr(
+                        rxq * tx_ring + tx_cursors[rxq],
+                        total_tx_ring,
+                    )));
+                    tx_cursors[rxq] += 1;
                     self.tracer
                         .emit(now, packet.id(), Component::App, Stage::AppTx);
-                    tx_requests.push(TxRequest { packet, mbuf });
+                    tx_batches[rxq].push(TxRequest { packet, mbuf });
+                    tx_total += 1;
                 }
                 AppAction::Consume => {}
             }
         }
 
-        let tx_count = tx_requests.len();
+        let tx_count = tx_total;
         if tx_count > 0 {
             ops.push(Op::Compute(self.costs.tx_flush));
         }
 
         let end = core.execute(now, &ops, mem);
         if tx_count > 0 {
-            let (_, rejected) = nic.tx_submit(end, tx_requests);
-            self.tx_backlog = rejected;
+            for (q, batch) in tx_batches.iter_mut().enumerate() {
+                if batch.is_empty() {
+                    continue;
+                }
+                let (_, rejected) = nic.tx_submit_q(q, end, std::mem::take(batch));
+                self.tx_backlog.extend(rejected.into_iter().map(|r| (q, r)));
+            }
         }
-        // Processed mbufs go back to the RX ring when the loop's tail
+        // Processed mbufs go back to their RX rings when the loop's tail
         // bump retires.
-        nic.rx_ring_post_at(end, rx_count);
+        for &q in &self.queues {
+            nic.rx_ring_post_q_at(q, end, rx_counts[q]);
+        }
         self.ops = ops;
         self.completions = completions;
+        self.tx_batches = tx_batches;
         Iteration {
             end,
             rx: rx_count,

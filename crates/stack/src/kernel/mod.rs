@@ -87,15 +87,25 @@ pub struct KernelStack {
     costs: KernelCosts,
     ws: FootprintStream,
     code: FootprintStream,
+    /// Base of this core's user receive-buffer window.
+    user_base: Addr,
     user_cursor: u64,
+    /// First mbuf index of this core's TX skb pool.
+    tx_mbuf_base: usize,
     tx_mbuf_cursor: usize,
-    tx_backlog: Vec<TxRequest>,
+    /// NIC queues whose softirq work lands on this core (the RPS/IRQ
+    /// affinity set). `[0]` is the single-queue legacy assignment.
+    queues: Vec<usize>,
+    /// Rejected TX requests tagged with their queue, awaiting retry.
+    tx_backlog: Vec<(usize, TxRequest)>,
     /// Reused op-stream buffer (allocation-free steady state).
     ops: Vec<Op>,
     /// Reused RX completion buffer (the softirq un-batch boundary:
     /// whatever arrived as a wire burst is re-walked packet-at-a-time
     /// here, but into a buffer that never reallocates in steady state).
     completions: Vec<RxCompletion>,
+    /// Reused per-queue TX staging batches.
+    tx_batches: Vec<Vec<TxRequest>>,
     tracer: Tracer,
     stats: StackStats,
 }
@@ -107,20 +117,38 @@ impl KernelStack {
         Self::with_costs(KernelCosts::default(), seed)
     }
 
+    /// Creates a stack instance for worker core `lcore`: kernel working
+    /// set, code footprint, user buffer, and TX skb pool occupy that
+    /// core's private slice of the address map. `for_lcore(seed, 0)` is
+    /// exactly `new(seed)`.
+    pub fn for_lcore(seed: u64, lcore: usize) -> Self {
+        Self::with_costs_for_lcore(KernelCosts::default(), seed, lcore)
+    }
+
     /// Creates the stack with explicit costs.
     pub fn with_costs(costs: KernelCosts, seed: u64) -> Self {
+        Self::with_costs_for_lcore(costs, seed, 0)
+    }
+
+    /// Creates the stack with explicit costs for a specific core.
+    pub fn with_costs_for_lcore(costs: KernelCosts, seed: u64, lcore: usize) -> Self {
+        let off = lcore as u64 * (64 << 20);
         Self {
             budget: 64,
             costs,
             // >1 MiB data + ~1.5 MiB code: the kernel working set that
             // keeps rewarding L2 growth past 1 MiB (Fig. 11c).
-            ws: FootprintStream::new(KERNEL_WS_BASE, 3 << 20, 0.5, seed ^ 0xFEED),
-            code: FootprintStream::new(KERNEL_CODE_BASE, 1536 << 10, 0.6, seed ^ 0xBEEF),
+            ws: FootprintStream::new(KERNEL_WS_BASE + off, 3 << 20, 0.5, seed ^ 0xFEED),
+            code: FootprintStream::new(KERNEL_CODE_BASE + off, 1536 << 10, 0.6, seed ^ 0xBEEF),
+            user_base: USER_BUF_BASE + off,
             user_cursor: 0,
+            tx_mbuf_base: KERNEL_TX_MBUF_BASE + lcore * KERNEL_TX_MBUF_COUNT,
             tx_mbuf_cursor: 0,
+            queues: vec![0],
             tx_backlog: Vec::new(),
             ops: Vec::new(),
             completions: Vec::new(),
+            tx_batches: Vec::new(),
             tracer: Tracer::disabled(),
             stats: StackStats::default(),
         }
@@ -137,13 +165,13 @@ impl KernelStack {
     }
 
     fn user_buf(&mut self, len: u64) -> Addr {
-        let addr = USER_BUF_BASE + self.user_cursor;
+        let addr = self.user_base + self.user_cursor;
         self.user_cursor = (self.user_cursor + len.max(64)) % USER_BUF_SIZE;
         addr
     }
 
     fn tx_mbuf(&mut self) -> usize {
-        let idx = KERNEL_TX_MBUF_BASE + self.tx_mbuf_cursor;
+        let idx = self.tx_mbuf_base + self.tx_mbuf_cursor;
         self.tx_mbuf_cursor = (self.tx_mbuf_cursor + 1) % KERNEL_TX_MBUF_COUNT;
         idx
     }
@@ -160,6 +188,11 @@ impl NetworkStack for KernelStack {
 
     fn wakeup_latency(&self) -> Tick {
         self.costs.wakeup_latency + self.costs.itr
+    }
+
+    fn assign_queues(&mut self, queues: Vec<usize>) {
+        assert!(!queues.is_empty(), "lcore must service at least one queue");
+        self.queues = queues;
     }
 
     fn stats(&self) -> Option<&StackStats> {
@@ -198,11 +231,28 @@ impl KernelStack {
         let mut ops = std::mem::take(&mut self.ops);
         ops.clear();
 
+        let ring = nic.config().rx_ring_size;
+        let tx_ring = nic.config().tx_ring_size;
+        let nq = nic.num_queues();
+        let total_tx_ring = tx_ring * nq;
+
         // Retry any TX the ring rejected before taking new work.
         if !self.tx_backlog.is_empty() {
             let backlog = std::mem::take(&mut self.tx_backlog);
-            let (accepted, rejected) = nic.tx_submit(now, backlog);
-            self.tx_backlog = rejected;
+            let mut by_queue: Vec<Vec<TxRequest>> = Vec::new();
+            by_queue.resize_with(nq, Vec::new);
+            for (q, req) in backlog {
+                by_queue[q].push(req);
+            }
+            let mut accepted = 0;
+            for (q, reqs) in by_queue.into_iter().enumerate() {
+                if reqs.is_empty() {
+                    continue;
+                }
+                let (took, rejected) = nic.tx_submit_q(q, now, reqs);
+                accepted += took;
+                self.tx_backlog.extend(rejected.into_iter().map(|r| (q, r)));
+            }
             ops.push(Op::Compute(300));
             let end = core.execute(now, &ops, mem);
             self.ops = ops;
@@ -216,13 +266,25 @@ impl KernelStack {
 
         let mut completions = std::mem::take(&mut self.completions);
         completions.clear();
-        nic.rx_poll_into(now, self.budget, &mut completions);
-        let tx_ring = nic.config().tx_ring_size;
-        let mut tx_requests = Vec::new();
-        let mut tx_slot = 0usize;
+        for &q in &self.queues {
+            let remaining = self.budget - completions.len();
+            if remaining == 0 {
+                break;
+            }
+            nic.rx_poll_q_into(q, now, remaining, &mut completions);
+        }
+        let mut tx_batches = std::mem::take(&mut self.tx_batches);
+        tx_batches.resize_with(nq, Vec::new);
+        for batch in &mut tx_batches {
+            batch.clear();
+        }
+        let mut tx_cursors = [0usize; 8];
+        let mut rx_counts = [0usize; 8];
+        let mut tx_total = 0usize;
+        let origin_q = self.queues[0];
 
         // Client-side originations (sendmsg syscalls from a client app).
-        while tx_requests.len() < self.budget {
+        while tx_total < self.budget {
             let Some(packet) = app.poll_tx(now, &mut ops) else {
                 break;
             };
@@ -230,20 +292,25 @@ impl KernelStack {
             let mbuf = self.tx_mbuf();
             ops::stores_over(&mut ops, layout::mbuf_addr(mbuf), packet.len() as u64);
             ops.push(Op::Compute(600)); // driver xmit path
-            ops.push(Op::Store(layout::tx_desc_addr(tx_slot, tx_ring)));
-            tx_slot += 1;
+            ops.push(Op::Store(layout::tx_desc_addr(
+                origin_q * tx_ring + tx_cursors[origin_q],
+                total_tx_ring,
+            )));
+            tx_cursors[origin_q] += 1;
+            tx_total += 1;
             self.tracer
                 .emit(now, packet.id(), Component::App, Stage::AppTx);
-            tx_requests.push(TxRequest { packet, mbuf });
+            tx_batches[origin_q].push(TxRequest { packet, mbuf });
         }
 
-        if completions.is_empty() && tx_requests.is_empty() {
+        if completions.is_empty() && tx_total == 0 {
             // Idle: the process sleeps in epoll/read until an interrupt.
             app.on_idle(&mut ops);
             ops.push(Op::Compute(50));
             let end = core.execute(now, &ops, mem);
             self.ops = ops;
             self.completions = completions;
+            self.tx_batches = tx_batches;
             return Iteration {
                 end,
                 rx: 0,
@@ -264,6 +331,8 @@ impl KernelStack {
                 .emit(now, completion.packet.id(), Component::Stack, Stage::SwRx);
             let len = completion.packet.len() as u64;
             let mbuf_addr = layout::mbuf_addr(completion.slot);
+            let rxq = completion.slot / ring;
+            rx_counts[rxq] += 1;
 
             // Driver + protocol stack.
             ops.push(Op::Compute(self.costs.per_packet_stack));
@@ -285,31 +354,42 @@ impl KernelStack {
             match app.on_packet(completion, user, &mut ops) {
                 AppAction::Consume => {}
                 AppAction::Forward(packet) | AppAction::Respond(packet) => {
-                    // send syscall: copy user -> skb, then driver TX.
+                    // send syscall: copy user -> skb, then driver TX. The
+                    // reply leaves on the queue the request arrived on.
                     ops.push(Op::Compute(self.costs.syscall_per_packet));
                     let mbuf = self.tx_mbuf();
                     let out_len = packet.len() as u64;
                     ops::loads_over(&mut ops, user, out_len.min(len.max(64)));
                     ops::stores_over(&mut ops, layout::mbuf_addr(mbuf), out_len);
                     ops.push(Op::Compute(600)); // driver xmit path
-                    ops.push(Op::Store(layout::tx_desc_addr(tx_slot, tx_ring)));
-                    tx_slot += 1;
+                    ops.push(Op::Store(layout::tx_desc_addr(
+                        rxq * tx_ring + tx_cursors[rxq],
+                        total_tx_ring,
+                    )));
+                    tx_cursors[rxq] += 1;
+                    tx_total += 1;
                     self.tracer
                         .emit(now, packet.id(), Component::App, Stage::AppTx);
-                    tx_requests.push(TxRequest { packet, mbuf });
+                    tx_batches[rxq].push(TxRequest { packet, mbuf });
                 }
             }
         }
 
-        let tx_count = tx_requests.len();
+        let tx_count = tx_total;
         let end = core.execute(now, &ops, mem);
         self.ops = ops;
         self.completions = completions;
-        if tx_count > 0 {
-            let (_, rejected) = nic.tx_submit(end, tx_requests);
-            self.tx_backlog = rejected;
+        for (q, batch) in tx_batches.iter_mut().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let (_, rejected) = nic.tx_submit_q(q, end, std::mem::take(batch));
+            self.tx_backlog.extend(rejected.into_iter().map(|r| (q, r)));
         }
-        nic.rx_ring_post_at(end, rx_count);
+        for &q in &self.queues {
+            nic.rx_ring_post_q_at(q, end, rx_counts[q]);
+        }
+        self.tx_batches = tx_batches;
         Iteration {
             end,
             rx: rx_count,

@@ -81,10 +81,17 @@ impl StackStats {
     /// Registers the `system.stack.*` statistics section (Full-level
     /// only: the legacy dump carried no stack counters).
     pub fn register_stats(&self, reg: &mut simnet_sim::stats::StatsRegistry) {
+        self.register_stats_at("system.stack", reg);
+    }
+
+    /// Registers this stack's statistics under an arbitrary scope — the
+    /// multi-lcore harness uses `system.stack.lcore<i>` per worker.
+    /// Full-level only, like [`StackStats::register_stats`].
+    pub fn register_stats_at(&self, scope: &str, reg: &mut simnet_sim::stats::StatsRegistry) {
         if !reg.full() {
             return;
         }
-        reg.scoped("system.stack", |reg| {
+        reg.scoped(scope, |reg| {
             reg.scalar("iterations", self.iterations, "stack loop iterations");
             reg.scalar(
                 "idleIterations",
@@ -136,6 +143,13 @@ pub trait NetworkStack {
     fn wakeup_latency(&self) -> Tick {
         0
     }
+
+    /// Assigns the NIC queue set this stack instance services — an
+    /// lcore's RSS share under multi-queue operation (DPDK: per-lcore
+    /// `rx_burst` queues; kernel: the softirq/RPS fan-out target of this
+    /// core). Default: the stack keeps polling queue 0 only, the
+    /// single-queue legacy behaviour.
+    fn assign_queues(&mut self, _queues: Vec<usize>) {}
 
     /// Attaches a packet-lifecycle tracer (see `simnet_sim::trace`). The
     /// stack reports software pickups (`sw_rx`) and application-boundary

@@ -193,10 +193,43 @@ fn faulted_run(plan: FaultPlan, seed: u64, gbps: f64, window: Tick) -> (u64, u64
     )
 }
 
+/// Like [`faulted_run`], but assembled at an arbitrary
+/// `(nqueues, lcores)` point through the shared multi-queue entry path.
+fn faulted_run_mq(
+    nq: usize,
+    lcores: usize,
+    plan: FaultPlan,
+    seed: u64,
+    gbps: f64,
+    window: Tick,
+) -> (u64, u64, u64, u64) {
+    let cfg = SystemConfig::gem5().with_queues(nq).with_lcores(lcores);
+    let mut sim = simnet::harness::build_loadgen_sim(&cfg, &AppSpec::TestPmd, 1518, gbps);
+    sim.install_faults(FaultInjector::new(plan, seed));
+    run_phases(
+        &mut sim,
+        Phases {
+            warmup: 0,
+            measure: window,
+        },
+    );
+    let lg = sim.loadgen.as_ref().expect("loadgen mode");
+    let fsm = sim.nodes[0].nic.drop_fsm();
+    (
+        lg.tx_packets(),
+        lg.rx_packets(),
+        fsm.total_drops(),
+        sim.events_executed(),
+    )
+}
+
 /// The generous pipeline-capacity bound shared with `tests/properties.rs`.
+/// Multi-queue NICs split the same aggregate FIFO across queues but get a
+/// descriptor ring per queue, so the ring terms scale with `num_queues`.
 fn pipeline_capacity(cfg: &SystemConfig) -> u64 {
-    2 * cfg.nic.rx_ring_size as u64
-        + cfg.nic.tx_ring_size as u64
+    let nq = cfg.nic.num_queues as u64;
+    2 * nq * cfg.nic.rx_ring_size as u64
+        + nq * cfg.nic.tx_ring_size as u64
         + (cfg.nic.rx_fifo_bytes + cfg.nic.tx_fifo_bytes) / MIN_FRAME_LEN as u64
         + 4_096
 }
@@ -228,6 +261,36 @@ proptest! {
         prop_assert!(
             in_pipeline <= capacity,
             "pipeline holds {in_pipeline} > capacity {capacity} \
+             (tx={tx} rx={rx} drop={dropped})"
+        );
+    }
+
+    /// The same conservation bound holds for any `(nqueues, lcores)`
+    /// shape: stuck-full windows wedge the partitioned per-queue FIFOs,
+    /// but every frame still drops classified or drains — no packet may
+    /// vanish between the RSS steering stage and a worker lcore.
+    #[test]
+    fn multi_queue_fifos_survive_stuck_full_windows(
+        shape in prop_oneof![Just((2usize, 2usize)), Just((4, 2)), Just((4, 4))],
+        dur_us in 1u64..5,
+        mult in 2u64..6,
+        seed in 1u64..1_000,
+        gbps in 20.0f64..60.0,
+    ) {
+        let (nq, lcores) = shape;
+        let plan = FaultPlan::parse(
+            &format!("nic.fifo_stuck={dur_us}us@{}us", dur_us * mult),
+        ).unwrap();
+        let (tx, rx, dropped, _) = faulted_run_mq(nq, lcores, plan, seed, gbps, us(300));
+        prop_assert!(tx > 0, "load generator must send");
+        prop_assert!(rx > 0, "{nq}q/{lcores}l: FIFOs must drain after each window");
+        prop_assert!(rx <= tx, "echoes cannot exceed sends: rx={rx} tx={tx}");
+        let in_pipeline = tx - rx - dropped.min(tx - rx);
+        let cfg = SystemConfig::gem5().with_queues(nq).with_lcores(lcores);
+        let capacity = pipeline_capacity(&cfg);
+        prop_assert!(
+            in_pipeline <= capacity,
+            "{nq}q/{lcores}l pipeline holds {in_pipeline} > capacity {capacity} \
              (tx={tx} rx={rx} drop={dropped})"
         );
     }

@@ -101,6 +101,55 @@ fn burst_point(burst: usize, fault_seed: Option<u64>) -> TracedRun {
     )
 }
 
+/// The multi-queue golden point: the same light TestPMD workload as
+/// [`golden_point`], but on a 2-queue NIC with 2 worker lcores. The
+/// synthetic LoadGen frames carry no UDP tuple, so RSS steers them all
+/// to queue 0 — the golden pins exactly the interesting part: the
+/// multi-queue event schedule (per-queue DMA kicks, the second lcore's
+/// software wakeups, partitioned FIFOs) around a single-queue traffic
+/// pattern.
+fn mq_point() -> TracedRun {
+    let cfg = SystemConfig::gem5().with_queues(2).with_lcores(2);
+    let rc = RunConfig {
+        phases: Phases {
+            warmup: 0,
+            measure: us(250),
+        },
+    };
+    run_traced(
+        &cfg,
+        &AppSpec::TestPmd,
+        1518,
+        2.0,
+        rc,
+        1 << 16,
+        Component::ALL_MASK,
+    )
+}
+
+/// The sharded-memcached multi-queue golden: 4 RSS queues, 4 worker
+/// lcores, the client steering each request's source port onto the
+/// queue owning its key's shard — real cross-queue traffic, committed
+/// byte-for-byte.
+fn mq_memcached_point() -> TracedRun {
+    let cfg = SystemConfig::gem5().with_queues(4).with_lcores(4);
+    let rc = RunConfig {
+        phases: Phases {
+            warmup: 0,
+            measure: us(400),
+        },
+    };
+    run_traced(
+        &cfg,
+        &AppSpec::MemcachedDpdk,
+        0,
+        200.0,
+        rc,
+        1 << 18,
+        Component::ALL_MASK,
+    )
+}
+
 #[test]
 fn trace_is_deterministic_across_rebuilt_nodes() {
     // Each call assembles a brand-new node (NIC, memory, stack, loadgen)
@@ -292,6 +341,72 @@ fn faulted_burst_trace_matches_committed_golden_file() {
         "the scalar (--burst=1) schedule must reproduce the faulted burst \
          golden byte-for-byte, fault draws included"
     );
+}
+
+/// The multi-queue golden: the 2-queue/2-lcore TestPMD schedule may not
+/// drift (event reordering, extra wakeups, changed DMA kicks) without a
+/// deliberate regeneration — and it must differ from the single-queue
+/// golden, or the multi-queue configuration is silently inert.
+#[test]
+fn mq_trace_matches_committed_golden_file() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/testpmd_mq.trace");
+    let run = mq_point();
+    assert_eq!(run.evicted, 0, "mq golden trace must fit the ring");
+    let text = run.canonical_text();
+
+    if std::env::var_os("SIMNET_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+        std::fs::write(path, &text).unwrap();
+        return;
+    }
+
+    let golden = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("cannot read {path}: {e}; run with SIMNET_UPDATE_GOLDEN=1 to create it")
+    });
+    assert_eq!(
+        text, golden,
+        "multi-queue trace diverged from the golden file; if the change is \
+         intentional, regenerate with SIMNET_UPDATE_GOLDEN=1 cargo test --test golden_trace"
+    );
+
+    // A second rebuilt node must reproduce it, and the single-queue
+    // golden point must not (the queues change the schedule).
+    assert_eq!(mq_point().canonical_text(), golden);
+    assert_ne!(
+        golden_point().canonical_text(),
+        golden,
+        "the 2-queue schedule must differ from the single-queue golden"
+    );
+}
+
+/// The sharded-memcached multi-queue golden: 4 queues of genuinely
+/// RSS-spread request traffic, byte-for-byte reproducible.
+#[test]
+fn mq_memcached_trace_matches_committed_golden_file() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/memcached_mq.trace"
+    );
+    let run = mq_memcached_point();
+    assert_eq!(run.evicted, 0, "mq memcached golden must fit the ring");
+    let text = run.canonical_text();
+
+    if std::env::var_os("SIMNET_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap()).unwrap();
+        std::fs::write(path, &text).unwrap();
+        return;
+    }
+
+    let golden = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("cannot read {path}: {e}; run with SIMNET_UPDATE_GOLDEN=1 to create it")
+    });
+    assert_eq!(
+        text, golden,
+        "sharded-memcached multi-queue trace diverged from the golden file; if \
+         the change is intentional, regenerate with SIMNET_UPDATE_GOLDEN=1 \
+         cargo test --test golden_trace"
+    );
+    assert_eq!(mq_memcached_point().canonical_text(), golden);
 }
 
 #[test]

@@ -131,6 +131,33 @@ fn faulted_ledger(plan: &str, size: usize, gbps: f64) -> pool::PoolStats {
     faulted_ledger_with_burst(plan, size, gbps, simnet::net::BURST_INLINE)
 }
 
+/// Like [`faulted_ledger_with_burst`], but assembled at an arbitrary
+/// `(nqueues, lcores)` point: packets now ride per-queue FIFOs, global
+/// mbuf slots, and worker-lcore TX batches before returning to the pool.
+fn faulted_ledger_mq(
+    nq: usize,
+    lcores: usize,
+    plan: &str,
+    size: usize,
+    gbps: f64,
+) -> pool::PoolStats {
+    let cfg = SystemConfig::gem5().with_queues(nq).with_lcores(lcores);
+    let mut sim = simnet::harness::build_loadgen_sim(&cfg, &AppSpec::TestPmd, size, gbps);
+    if !plan.is_empty() {
+        let plan = FaultPlan::parse(plan).expect("valid plan");
+        sim.install_faults(FaultInjector::new(plan, 11));
+    }
+    run_phases(
+        &mut sim,
+        Phases {
+            warmup: us(100),
+            measure: us(400),
+        },
+    );
+    drop(sim);
+    pool::stats()
+}
+
 /// Leak conservation: every buffer the pool lent out comes back once the
 /// simulation drops, even when `nic.wb_corrupt` discards frames on the
 /// writeback path or `nic.fifo_stuck` wedges the RX FIFO — the fault
@@ -195,6 +222,37 @@ fn faulted_burst_path_conserves_the_buffer_ledger() {
                 (stats.total_allocs(), stats.total_recycles()),
                 (reference.total_allocs(), reference.total_recycles()),
                 "plan {plan} burst {burst}: the alloc/recycle books must be                  burst-invariant"
+            );
+        }
+    }
+}
+
+/// Multi-queue leak conservation: frames now land in per-queue FIFOs,
+/// carry global (queue-offset) mbuf slot indices, and are retired by
+/// whichever worker lcore owns the queue — every one of those hand-offs
+/// must still return its buffer to the pool, clean and faulted alike,
+/// including frames abandoned mid-queue when the run ends.
+#[test]
+fn multi_queue_fault_plans_conserve_the_buffer_ledger() {
+    for (nq, lcores) in [(2usize, 2usize), (4, 2), (4, 4)] {
+        for plan in [
+            "",
+            "nic.wb_corrupt=12%",
+            "nic.wb_corrupt=8%;nic.fifo_stuck=10us@40us;link.ber=2e-5",
+        ] {
+            let stats = faulted_ledger_mq(nq, lcores, plan, 512, 45.0);
+            assert_eq!(
+                stats.live(),
+                0,
+                "{nq}q/{lcores}l plan {plan} stranded buffers: {stats:?}"
+            );
+            assert!(
+                stats.total_recycles() >= stats.total_allocs(),
+                "{nq}q/{lcores}l alloc/recycle books must balance for {plan}: {stats:?}"
+            );
+            assert!(
+                stats.total_allocs() > 0,
+                "a {nq}q/{lcores}l run must exercise the pool"
             );
         }
     }
