@@ -1,0 +1,243 @@
+//! Topology fan-in benchmark: TestPMD driven past saturation through
+//! incast fabrics of 1, 4, and 8 clients, emitting/checking the
+//! committed `BENCH_topo.json`.
+//!
+//! ```text
+//! topo_bench [--out FILE] [--check BASELINE] [--max-regress PCT]
+//! ```
+//!
+//! Each row runs the real simulation at a deliberately saturating
+//! offered rate and records:
+//!
+//! * `krps` — the achieved request rate through the fabric (each echoed
+//!   frame is one request-response). *Simulation-deterministic*: a pure
+//!   function of the seed and config, immune to host noise, so the gate
+//!   built on it is exact.
+//! * `events_per_host_sec` — simulator effort, honestly reported so the
+//!   event cost of switch hops and per-client links is visible.
+//!   Host-noisy; informational only, never gated.
+//! * `ratio` — achieved krps relative to the 1-client (point-to-point)
+//!   row. The fabric only adds trunk serialization and latency, so at a
+//!   fixed aggregate rate fan-in must not collapse throughput.
+//!
+//! The bench self-gates: it exits nonzero unless the 8-client row
+//! sustains **>= 0.8x** the point-to-point request rate. `--check`
+//! compares each row's ratio against the committed baseline with a
+//! regression tolerance on top.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use simnet_harness::config::TopoConfig;
+use simnet_harness::{run_point, AppSpec, RunConfig, SystemConfig};
+use simnet_sim::tick::us;
+
+/// Offered aggregate rate (Gbps of 1518 B frames) past the host's knee,
+/// so every row reports its saturation point through the fabric.
+const OFFERED_GBPS: f64 = 120.0;
+const FRAME: usize = 1518;
+
+struct Row {
+    clients: usize,
+    krps: f64,
+    events_per_host_sec: f64,
+}
+
+impl Row {
+    fn name(&self) -> String {
+        format!("topo_incast_{}c", self.clients)
+    }
+}
+
+fn run_rows() -> Vec<Row> {
+    [1usize, 4, 8]
+        .iter()
+        .map(|&clients| {
+            let topo = if clients == 1 {
+                TopoConfig::point_to_point()
+            } else {
+                TopoConfig::incast(clients).with_latency_spread(us(10))
+            };
+            let cfg = SystemConfig::gem5().with_topo(topo);
+            let start = Instant::now();
+            let s = run_point(
+                &cfg,
+                &AppSpec::TestPmd,
+                FRAME,
+                OFFERED_GBPS,
+                RunConfig::long(),
+            );
+            let host = start.elapsed().as_secs_f64();
+            Row {
+                clients,
+                krps: s.achieved_rps() / 1e3,
+                events_per_host_sec: if host > 0.0 {
+                    s.events as f64 / host
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+fn fmt_json(rows: &[Row], base_krps: f64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"bench-topo-v1\",\n");
+    out.push_str(&format!("  \"offered_gbps\": {OFFERED_GBPS},\n"));
+    out.push_str(&format!("  \"frame_bytes\": {FRAME},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"clients\": {}, \"krps\": {:.1}, \"events_per_host_sec\": {:.0}, \"ratio\": {:.3}}}{}\n",
+            r.name(),
+            r.clients,
+            r.krps,
+            r.events_per_host_sec,
+            r.krps / base_krps,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Pulls `"name": ..., "ratio": ...` pairs out of a baseline JSON.
+/// Hand-rolled (no serde in the workspace), tied to our own writer.
+fn parse_baseline_ratios(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_at + 9..];
+        let Some(name_end) = rest.find('"') else {
+            continue;
+        };
+        let name = &rest[..name_end];
+        let Some(ratio_at) = line.find("\"ratio\": ") else {
+            continue;
+        };
+        let ratio_rest = &line[ratio_at + 9..];
+        let digits: String = ratio_rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        if let Ok(ratio) = digits.parse::<f64>() {
+            out.push((name.to_string(), ratio));
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut max_regress = 20.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out_path = Some(p),
+                None => {
+                    eprintln!("--out requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--check" => match args.next() {
+                Some(p) => check_path = Some(p),
+                None => {
+                    eprintln!("--check requires a baseline file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-regress" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => max_regress = v,
+                _ => {
+                    eprintln!("--max-regress requires a positive percentage");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown argument {other}\n\
+                     usage: topo_bench [--out FILE] [--check BASELINE] [--max-regress PCT]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!("topology fan-in bench (testpmd {FRAME} B @ {OFFERED_GBPS} Gbps offered):");
+    let rows = run_rows();
+    let base_krps = rows[0].krps.max(1e-9);
+    for r in &rows {
+        println!(
+            "  {:<16} {:>8.1} kRPS   {:>10.0} ev/host-s   ratio {:.2}x",
+            r.name(),
+            r.krps,
+            r.events_per_host_sec,
+            r.krps / base_krps
+        );
+    }
+
+    // The tentpole's acceptance floor, gated unconditionally: 8 clients
+    // through the switch must sustain >= 0.8x the point-to-point rate.
+    let top = rows.last().expect("rows always run");
+    let top_ratio = top.krps / base_krps;
+    if top_ratio < 0.8 {
+        eprintln!(
+            "error: {} ratio {top_ratio:.2}x is below the 0.8x floor",
+            top.name()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let json = fmt_json(&rows, base_krps);
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = &check_path {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: could not read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let base = parse_baseline_ratios(&baseline);
+        if base.is_empty() {
+            eprintln!("error: no ratio entries found in baseline {path}");
+            return ExitCode::FAILURE;
+        }
+        let mut failed = false;
+        for (name, base_ratio) in &base {
+            let Some(r) = rows.iter().find(|r| &r.name() == name) else {
+                eprintln!("warning: baseline row {name} not measured; skipping");
+                continue;
+            };
+            let ratio = r.krps / base_krps;
+            let floor = base_ratio / (1.0 + max_regress / 100.0);
+            let status = if ratio < floor {
+                failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "  check {name}: ratio {ratio:.2}x vs baseline {base_ratio:.2}x \
+                 (floor {floor:.2}x) {status}"
+            );
+        }
+        if failed {
+            eprintln!("error: topology fan-in regressed more than {max_regress}% vs {path}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -7,7 +7,7 @@
 //! repro [--trace PATH] [--trace-filter COMPONENTS] [--trace-gbps G]
 //!       [--stats-out FILE] [--stats-interval US] [--profile]
 //!       [--faults PLAN] [--fault-seed N] [--burst N] [--frame BYTES]
-//!       [--nqueues N] [--lcores N]
+//!       [--nqueues N] [--lcores N] [--topo CLIENTS]
 //! ```
 //!
 //! Results print as tables and are written as CSVs under `--out`
@@ -42,6 +42,11 @@
 //! `--nqueues 1 --lcores 1` (the default) the run is byte-identical to
 //! the legacy single-ring path.
 //!
+//! `--topo CLIENTS` replaces the point-to-point wire with an incast
+//! topology: CLIENTS generator endpoints behind a MAC switch whose trunk
+//! feeds the host NIC. `--topo 1` (the default) keeps the legacy wire;
+//! the experiment `topo-sweep` sweeps the fan-in axis.
+//!
 //! `--faults PLAN` installs a deterministic fault plan for the run
 //! (grammar: `link.ber=1e-7;pci.stall=200ns@10%;dma.burst=+500ns/1us`; see
 //! `simnet_sim::fault::FaultPlan`). `--fault-seed N` picks the fault RNG
@@ -50,6 +55,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use simnet_harness::config::TopoConfig;
 use simnet_harness::experiments::{self, Effort, ExperimentOutput};
 use simnet_harness::{run_observed, AppSpec, ObserveOpts, RunConfig, SystemConfig};
 use simnet_sim::fault::FaultInjector;
@@ -85,6 +91,7 @@ const EXPERIMENTS: &[&str] = &[
     "latency-hist",
     "fault-matrix",
     "mq-sweep",
+    "topo-sweep",
 ];
 
 fn run_one(name: &str, effort: Effort) -> Option<ExperimentOutput> {
@@ -116,6 +123,7 @@ fn run_one(name: &str, effort: Effort) -> Option<ExperimentOutput> {
         "latency-hist" => experiments::latency_hist::run(effort),
         "fault-matrix" => experiments::fault_matrix::run(effort),
         "mq-sweep" => experiments::mq_sweep::run(effort),
+        "topo-sweep" => experiments::topo_sweep::run(effort),
         _ => return None,
     };
     Some(out)
@@ -133,6 +141,7 @@ struct PointMode {
     frame: usize,
     nqueues: usize,
     lcores: usize,
+    topo: usize,
 }
 
 fn write_file(path: &PathBuf, contents: &str) -> Result<(), ExitCode> {
@@ -152,9 +161,12 @@ fn write_file(path: &PathBuf, contents: &str) -> Result<(), ExitCode> {
 
 /// Runs one observed TestPMD point and writes the requested outputs.
 fn run_point_mode(mode: &PointMode, offered_gbps: f64, faults: FaultInjector) -> ExitCode {
-    let cfg = SystemConfig::gem5()
+    let mut cfg = SystemConfig::gem5()
         .with_queues(mode.nqueues)
         .with_lcores(mode.lcores);
+    if mode.topo > 1 {
+        cfg = cfg.with_topo(TopoConfig::incast(mode.topo));
+    }
     let spec = AppSpec::TestPmd;
     let rc = RunConfig::fast();
     let faulted = faults.is_enabled();
@@ -177,6 +189,12 @@ fn run_point_mode(mode: &PointMode, offered_gbps: f64, faults: FaultInjector) ->
         println!(
             "multi-queue: {} RX/TX queue pairs, {} worker lcores",
             mode.nqueues, mode.lcores
+        );
+    }
+    if mode.topo > 1 {
+        println!(
+            "topology: {} clients -> switch -> host (incast fan-in)",
+            mode.topo
         );
     }
     let run = run_observed(
@@ -332,6 +350,7 @@ fn main() -> ExitCode {
     let mut frame = 1518usize;
     let mut nqueues = 1usize;
     let mut lcores = 1usize;
+    let mut topo = 1usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -412,6 +431,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--topo" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if (1..=64).contains(&n) => topo = n,
+                _ => {
+                    eprintln!("--topo requires a client fan-in count (1..=64)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--faults" => match args.next().as_deref().map(FaultPlan::parse) {
                 Some(Ok(plan)) => fault_plan = Some(plan),
                 Some(Err(e)) => {
@@ -436,7 +462,7 @@ fn main() -> ExitCode {
                      \x20      repro [--trace PATH] [--trace-filter COMPONENTS] [--trace-gbps G]\n\
                      \x20            [--stats-out FILE] [--stats-interval US] [--profile]\n\
                      \x20            [--faults PLAN] [--fault-seed N] [--burst N] [--frame BYTES]\n\
-                     \x20            [--nqueues N] [--lcores N]",
+                     \x20            [--nqueues N] [--lcores N] [--topo CLIENTS]",
                     EXPERIMENTS.join("|")
                 );
                 return ExitCode::SUCCESS;
@@ -453,6 +479,10 @@ fn main() -> ExitCode {
         eprintln!("--lcores {lcores} needs at least as many --nqueues (have {nqueues})");
         return ExitCode::FAILURE;
     }
+    if topo > 1 && nqueues != 1 {
+        eprintln!("--topo incast runs drive a single-queue NIC (drop --nqueues)");
+        return ExitCode::FAILURE;
+    }
     if trace_path.is_some() || stats_path.is_some() || profile {
         let mode = PointMode {
             trace_path,
@@ -464,11 +494,16 @@ fn main() -> ExitCode {
             frame,
             nqueues,
             lcores,
+            topo,
         };
         return run_point_mode(&mode, trace_gbps, faults);
     }
     if nqueues != 1 || lcores != 1 {
         eprintln!("--nqueues/--lcores only apply to single-point runs (see mq-sweep)");
+        return ExitCode::FAILURE;
+    }
+    if topo != 1 {
+        eprintln!("--topo only applies to single-point runs (see topo-sweep)");
         return ExitCode::FAILURE;
     }
     if faults.is_enabled() {

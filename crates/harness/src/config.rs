@@ -7,6 +7,109 @@ use simnet_mem::MemoryConfig;
 use simnet_nic::NicConfig;
 use simnet_sim::tick::{ns, us, Bandwidth, Frequency, Tick};
 
+/// The shape of the network between the clients and the node under test.
+///
+/// All-scalar and `Copy` on purpose: it rides inside [`SystemConfig`],
+/// which sweep drivers copy per measurement point. `clients == 1` is the
+/// degenerate two-node/one-link topology — the legacy point-to-point
+/// wire, byte-identical to the pre-topology harness. `clients > 1`
+/// instantiates an incast fan-in: N load-generator endpoints behind a
+/// MAC-forwarding switch whose host-facing trunk carries a bounded
+/// congestion queue (see `simnet_net::topo`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopoConfig {
+    /// Client endpoints (1 = degenerate point-to-point).
+    pub clients: usize,
+    /// Base one-way client↔switch access latency.
+    pub client_latency: Tick,
+    /// Extra access latency per client index (heterogeneous RTT fleet):
+    /// client *i* sees `client_latency + i × latency_spread`.
+    pub latency_spread: Tick,
+    /// Switch→host trunk congestion-queue bound in frames (0 = unbounded).
+    pub trunk_queue_frames: usize,
+    /// One-way switch↔host trunk latency.
+    pub trunk_latency: Tick,
+    /// Seeded random loss on client uplinks, parts per million.
+    pub loss_ppm: u32,
+    /// Zipf skew for flow popularity across each client's source-port
+    /// flows (0.0 = round-robin over flows; the compact per-flow state).
+    pub zipf_skew: f64,
+    /// Distinct flows (source ports) per client endpoint.
+    pub flows_per_client: u16,
+}
+
+impl TopoConfig {
+    /// The degenerate topology: one client, one host, one pure wire.
+    pub fn point_to_point() -> Self {
+        TopoConfig {
+            clients: 1,
+            client_latency: 0,
+            latency_spread: 0,
+            trunk_queue_frames: 0,
+            trunk_latency: 0,
+            loss_ppm: 0,
+            zipf_skew: 0.0,
+            flows_per_client: 1,
+        }
+    }
+
+    /// An incast fan-in of `clients` endpoints behind one switch:
+    /// 50 µs access latency (so the end-to-end RTT stays near the
+    /// paper's 100 µs wire), a 512-frame trunk congestion queue, and a
+    /// 500 ns store-and-forward trunk hop.
+    pub fn incast(clients: usize) -> Self {
+        assert!(clients >= 1, "incast needs at least one client");
+        TopoConfig {
+            clients,
+            client_latency: us(50),
+            latency_spread: 0,
+            trunk_queue_frames: 512,
+            trunk_latency: ns(500),
+            loss_ppm: 0,
+            zipf_skew: 0.0,
+            flows_per_client: 1,
+        }
+    }
+
+    /// Sets the per-client access-latency spread (heterogeneous RTTs).
+    pub fn with_latency_spread(mut self, spread: Tick) -> Self {
+        self.latency_spread = spread;
+        self
+    }
+
+    /// Sets the trunk congestion-queue bound (0 = unbounded).
+    pub fn with_trunk_queue(mut self, frames: usize) -> Self {
+        self.trunk_queue_frames = frames;
+        self
+    }
+
+    /// Sets seeded uplink loss in parts per million.
+    pub fn with_loss_ppm(mut self, ppm: u32) -> Self {
+        self.loss_ppm = ppm;
+        self
+    }
+
+    /// Sets Zipf-skewed flow popularity over `flows` source-port flows
+    /// per client (skew 0.0 keeps the round-robin default).
+    pub fn with_zipf_flows(mut self, flows: u16, skew: f64) -> Self {
+        assert!(flows >= 1, "need at least one flow per client");
+        self.flows_per_client = flows;
+        self.zipf_skew = skew;
+        self
+    }
+
+    /// Whether this is the degenerate point-to-point topology.
+    pub fn is_point_to_point(&self) -> bool {
+        self.clients == 1
+    }
+}
+
+impl Default for TopoConfig {
+    fn default() -> Self {
+        TopoConfig::point_to_point()
+    }
+}
+
 /// A complete node + network configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct SystemConfig {
@@ -32,6 +135,9 @@ pub struct SystemConfig {
     /// the altra measurements in Fig. 6 are capped by Pktgen at roughly
     /// 15.6 Mpps (8 Gbps at 64 B, 16 Gbps at 128 B).
     pub client_pps_cap: Option<f64>,
+    /// Network topology between the clients and the node under test
+    /// (default: the degenerate point-to-point wire).
+    pub topo: TopoConfig,
 }
 
 impl SystemConfig {
@@ -47,6 +153,7 @@ impl SystemConfig {
             seed: 0x5EED,
             num_lcores: 1,
             client_pps_cap: None,
+            topo: TopoConfig::point_to_point(),
         }
     }
 
@@ -70,6 +177,7 @@ impl SystemConfig {
             seed: 0xA17A,
             num_lcores: 1,
             client_pps_cap: Some(15.6e6),
+            topo: TopoConfig::point_to_point(),
         }
     }
 
@@ -167,6 +275,13 @@ impl SystemConfig {
         self.num_lcores = lcores;
         self
     }
+
+    /// Replaces the network topology (incast fleets, heterogeneous RTTs,
+    /// lossy uplinks — see [`TopoConfig`]).
+    pub fn with_topo(mut self, topo: TopoConfig) -> Self {
+        self.topo = topo;
+        self
+    }
 }
 
 impl Default for SystemConfig {
@@ -220,6 +335,33 @@ mod tests {
         assert_eq!(cfg.core.rob, 512);
         assert!(!cfg.mem.dca_enabled);
         assert_eq!(cfg.mem.llc.dca_ways, 0);
+    }
+
+    #[test]
+    fn default_topology_is_degenerate() {
+        let cfg = SystemConfig::gem5();
+        assert!(cfg.topo.is_point_to_point());
+        assert_eq!(cfg.topo, TopoConfig::point_to_point());
+    }
+
+    #[test]
+    fn topo_builders_compose() {
+        let cfg = SystemConfig::gem5().with_topo(
+            TopoConfig::incast(8)
+                .with_latency_spread(us(10))
+                .with_trunk_queue(64)
+                .with_loss_ppm(250)
+                .with_zipf_flows(4, 1.2),
+        );
+        assert_eq!(cfg.topo.clients, 8);
+        assert!(!cfg.topo.is_point_to_point());
+        assert_eq!(cfg.topo.latency_spread, us(10));
+        assert_eq!(cfg.topo.trunk_queue_frames, 64);
+        assert_eq!(cfg.topo.loss_ppm, 250);
+        assert_eq!(cfg.topo.flows_per_client, 4);
+        // The whole config stays Copy for the sweep drivers.
+        let copied = cfg;
+        assert_eq!(copied.topo.clients, cfg.topo.clients);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | [`fault_matrix`] | Chaos sweep: fault intensity vs achieved rate (`simnet_sim::fault`) |
 //! | [`tcp_ext`] | Extension: the TCP state machine in `EtherLoadGen` (paper future work) |
 //! | [`mq_sweep`] | Extension: cores × queues RSS scaling (the Fig. 6-style multi-queue axis) |
+//! | [`topo_sweep`] | Extension: incast fan-in through the switch/trunk topology fabric |
 
 pub mod ablations;
 pub mod cache;
@@ -34,6 +35,7 @@ pub mod mq_sweep;
 pub mod speedup;
 pub mod table1;
 pub mod tcp_ext;
+pub mod topo_sweep;
 
 use crate::table::Table;
 

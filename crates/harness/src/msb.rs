@@ -5,8 +5,8 @@ use simnet_apps::{
     Iperf, IperfTcp, KvStore, MemcachedDpdk, MemcachedKernel, RxpTx, TestPmd, TouchDrop, TouchFwd,
 };
 use simnet_loadgen::{
-    find_knee, EtherLoadGen, LoadGenMode, MemcachedClientConfig, RatePoint, SyntheticConfig,
-    TcpClientConfig, MSB_DROP_THRESHOLD,
+    find_knee, ClientFleet, EtherLoadGen, LoadGenMode, MemcachedClientConfig, RatePoint,
+    SyntheticConfig, TcpClientConfig, MSB_DROP_THRESHOLD,
 };
 use simnet_net::MacAddr;
 use simnet_sim::random::SimRng;
@@ -138,12 +138,26 @@ impl AppSpec {
                 client,
             ))
         } else {
-            LoadGenMode::Synthetic(SyntheticConfig::fixed_rate(
-                size,
-                Bandwidth::gbps(offered),
-                server,
-                client,
-            ))
+            let mut syn =
+                SyntheticConfig::fixed_rate(size, Bandwidth::gbps(offered), server, client);
+            // On a multi-queue NIC, raw LoadGen shells carry no tuple and
+            // RSS pins every frame to queue 0; switch to UDP frames whose
+            // source ports round-robin one port per queue so the offered
+            // stream actually exercises every queue.
+            if cfg.nic.num_queues > 1 {
+                syn = syn.with_rss_ports(
+                    [10, 0, 0, 2],
+                    [10, 0, 0, 1],
+                    9,
+                    simnet_net::rss::ports_for_queues(
+                        [10, 0, 0, 2],
+                        [10, 0, 0, 1],
+                        9,
+                        cfg.nic.num_queues,
+                    ),
+                );
+            }
+            LoadGenMode::Synthetic(syn)
         };
         EtherLoadGen::new(mode, cfg.seed ^ 0x10AD)
     }
@@ -249,9 +263,37 @@ pub fn build_loadgen_sim(
     size: usize,
     offered: f64,
 ) -> Simulation {
+    if !cfg.topo.is_point_to_point() {
+        return build_topo_sim(cfg, spec, size, offered);
+    }
     let (stack, app) = spec.instantiate_mq(cfg.seed, 0, cfg.num_lcores, cfg.nic.num_queues);
     let loadgen = spec.loadgen(cfg, size, offered);
     let mut sim = Simulation::loadgen_mode(cfg, stack, app, loadgen);
+    add_workers(&mut sim, cfg, spec);
+    sim
+}
+
+/// Assembles a topology-mode simulation: `cfg.topo.clients` fleet
+/// endpoints behind a MAC switch feeding the test node over a
+/// (optionally congestible) trunk. `offered` is the *aggregate* load in
+/// Gbps of frame bytes, split evenly across clients. Open-loop
+/// bandwidth workloads only: the fleet speaks fixed-rate UDP, not the
+/// memcached or TCP client state machines.
+pub fn build_topo_sim(cfg: &SystemConfig, spec: &AppSpec, size: usize, offered: f64) -> Simulation {
+    assert!(
+        !spec.uses_rps() && !matches!(spec, AppSpec::IperfTcp),
+        "topology mode drives open-loop synthetic traffic only"
+    );
+    let (stack, app) = spec.instantiate_mq(cfg.seed, 0, cfg.num_lcores, cfg.nic.num_queues);
+    let fleet = ClientFleet::fixed_rate(
+        cfg.topo.clients,
+        size,
+        Bandwidth::gbps(offered),
+        cfg.nic.mac,
+        cfg.seed ^ 0x10AD,
+    )
+    .with_flows(cfg.topo.flows_per_client, cfg.topo.zipf_skew);
+    let mut sim = Simulation::topo_mode(cfg, stack, app, fleet);
     add_workers(&mut sim, cfg, spec);
     sim
 }

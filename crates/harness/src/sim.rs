@@ -10,15 +10,16 @@
 //! launch) — or, for the kernel stack, leave interrupts enabled.
 
 use simnet_cpu::Core;
-use simnet_loadgen::EtherLoadGen;
+use simnet_loadgen::{ClientFleet, EtherLoadGen};
 use simnet_mem::MemorySystem;
 use simnet_net::burst::{Burst, BURST_INLINE};
 use simnet_net::pcap::PcapWriter;
+use simnet_net::topo::{Switch, TopoLink, Topology, Verdict};
 use simnet_net::Packet;
 use simnet_nic::{EtherLink, Nic};
 use simnet_pci::devbind::DevBind;
 use simnet_sim::fault::FaultInjector;
-use simnet_sim::stats::{ColumnSpec, Profiler, SampleValue, TimeSeries};
+use simnet_sim::stats::{ColumnSpec, Counter, Profiler, SampleValue, StatsRegistry, TimeSeries};
 use simnet_sim::trace::{Component, Stage, TraceEvent, Tracer, NO_PACKET};
 use simnet_sim::{tick, EventKey, EventQueue, Priority, Tick};
 use simnet_stack::dpdk::{Eal, EalConfig};
@@ -55,6 +56,13 @@ enum Ev {
     /// Periodic interval-stats sample (only scheduled when
     /// [`Simulation::enable_interval_stats`] ran).
     Sample,
+    /// A fleet client's next departure (topology mode).
+    FleetTx { client: usize },
+    /// A frame arrives at the switch — from a client uplink or from the
+    /// host-facing trunk — and is forwarded by destination MAC.
+    SwitchRx { packet: Packet },
+    /// An echo arrives back at a fleet client (topology mode).
+    FleetRx { client: usize, packet: Packet },
 }
 
 /// Host-time attribution labels, one per [`Ev`] kind: `(kind, component)`.
@@ -68,6 +76,9 @@ const PROFILE_KINDS: &[(&str, &str)] = &[
     ("software", "stack"),
     ("probe", "sim"),
     ("sample", "sim"),
+    ("fleet_tx", "loadgen"),
+    ("switch_rx", "link"),
+    ("fleet_rx", "loadgen"),
 ];
 
 /// Index into [`PROFILE_KINDS`] for an event payload.
@@ -82,6 +93,9 @@ fn kind_index(ev: &Ev) -> usize {
         Ev::Software { .. } => 6,
         Ev::Probe => 7,
         Ev::Sample => 8,
+        Ev::FleetTx { .. } => 9,
+        Ev::SwitchRx { .. } => 10,
+        Ev::FleetRx { .. } => 11,
     }
 }
 
@@ -135,6 +149,138 @@ impl Coalescer {
     }
 }
 
+/// The instantiated network fabric between the traffic source(s) and the
+/// test node: executable [`TopoLink`]s plus, for fan-in topologies, a
+/// MAC-forwarding [`Switch`]. The degenerate point-to-point fabric is
+/// exactly one pure wire per direction, whose arrival arithmetic is
+/// tick-identical to the `EtherLink` pair it replaced — the legacy
+/// schedule is the 2-node/1-link special case, byte for byte.
+struct Fabric {
+    /// Per-client uplinks toward the switch — or, degenerate, the single
+    /// loadgen→host wire at index 0.
+    uplinks: Vec<TopoLink>,
+    /// Per-client downlinks from the switch (degenerate: host→loadgen).
+    downlinks: Vec<TopoLink>,
+    /// Switch→host trunk (fan-in topologies only).
+    trunk_up: Option<TopoLink>,
+    /// Host→switch trunk (fan-in topologies only).
+    trunk_down: Option<TopoLink>,
+    /// Destination-MAC forwarding table. Port 0 is the trunk toward the
+    /// host; port `i + 1` is client `i`'s downlink.
+    switch: Switch,
+    /// Frames whose destination MAC had no switch route (counted and
+    /// dropped — no flooding in this model).
+    unroutable: Counter,
+}
+
+impl Fabric {
+    /// Deterministic per-link loss-stream seed: the workload seed mixed
+    /// with the link index (splitmix64 odd constant), so links draw
+    /// independent streams and runs replay exactly.
+    fn link_seed(seed: u64, index: usize) -> u64 {
+        seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// The degenerate two-node topology: one pure wire per direction.
+    fn point_to_point(cfg: &SystemConfig) -> Self {
+        let topo = Topology::point_to_point(cfg.link_bandwidth, cfg.link_latency);
+        let links = topo.links();
+        Fabric {
+            uplinks: vec![TopoLink::new(links[0].policy, Self::link_seed(cfg.seed, 0))],
+            downlinks: vec![TopoLink::new(links[1].policy, Self::link_seed(cfg.seed, 1))],
+            trunk_up: None,
+            trunk_down: None,
+            switch: Switch::new(),
+            unroutable: Counter::new(),
+        }
+    }
+
+    /// The incast fan-in described by `cfg.topo`: per-client access-link
+    /// pairs into a switch whose trunk (optionally carrying a bounded
+    /// congestion queue) feeds the host. Link order follows
+    /// [`Topology::incast`]: trunk pair first, then per-client pairs.
+    fn incast(cfg: &SystemConfig, fleet: &ClientFleet) -> Self {
+        let t = &cfg.topo;
+        let topo = Topology::incast(
+            t.clients,
+            cfg.link_bandwidth,
+            t.client_latency,
+            t.latency_spread,
+            t.trunk_latency,
+            t.trunk_queue_frames,
+            t.loss_ppm,
+        );
+        let links = topo.links();
+        let mut switch = Switch::new();
+        switch.add_route(cfg.nic.mac, 0);
+        let mut uplinks = Vec::with_capacity(t.clients);
+        let mut downlinks = Vec::with_capacity(t.clients);
+        for i in 0..t.clients {
+            switch.add_route(fleet.client_mac(i), i + 1);
+            let up = 2 + 2 * i;
+            uplinks.push(TopoLink::new(
+                links[up].policy,
+                Self::link_seed(cfg.seed, up),
+            ));
+            downlinks.push(TopoLink::new(
+                links[up + 1].policy,
+                Self::link_seed(cfg.seed, up + 1),
+            ));
+        }
+        Fabric {
+            uplinks,
+            downlinks,
+            trunk_up: Some(TopoLink::new(links[0].policy, Self::link_seed(cfg.seed, 0))),
+            trunk_down: Some(TopoLink::new(links[1].policy, Self::link_seed(cfg.seed, 1))),
+            switch,
+            unroutable: Counter::new(),
+        }
+    }
+
+    /// Whether this is the 2-node/1-link special case (no switch).
+    fn is_degenerate(&self) -> bool {
+        self.trunk_up.is_none()
+    }
+
+    fn links(&self) -> impl Iterator<Item = &TopoLink> {
+        self.uplinks
+            .iter()
+            .chain(self.downlinks.iter())
+            .chain(self.trunk_up.iter())
+            .chain(self.trunk_down.iter())
+    }
+
+    fn links_mut(&mut self) -> impl Iterator<Item = &mut TopoLink> {
+        self.uplinks
+            .iter_mut()
+            .chain(self.downlinks.iter_mut())
+            .chain(self.trunk_up.iter_mut())
+            .chain(self.trunk_down.iter_mut())
+    }
+
+    /// Cumulative drops across the whole fabric: tail-drops and loss
+    /// draws on every link, plus unroutable frames at the switch.
+    fn drops_total(&self) -> u64 {
+        self.links()
+            .map(|l| l.tail_drops.value() + l.loss_drops.value())
+            .sum::<u64>()
+            + self.unroutable.value()
+    }
+
+    /// Current switch→host trunk congestion-queue occupancy (0 when
+    /// degenerate or unbounded).
+    fn trunk_occupancy(&mut self, now: Tick) -> usize {
+        self.trunk_up.as_mut().map_or(0, |l| l.occupancy(now))
+    }
+
+    fn reset_stats(&mut self) {
+        for link in self.links_mut() {
+            link.reset_stats();
+        }
+        self.unroutable.reset();
+    }
+}
+
 /// Cumulative counter values at the previous interval sample, for the
 /// per-interval delta columns.
 #[derive(Debug, Default, Clone, Copy)]
@@ -144,6 +290,7 @@ struct SampleBaseline {
     tx_drops: u64,
     fault_drops: u64,
     faults: u64,
+    topo_drops: u64,
 }
 
 /// The interval time-series sampler: a periodic simulation event that
@@ -198,6 +345,11 @@ fn sample_columns() -> Vec<ColumnSpec> {
         ColumnSpec::int(
             "rxq_visible_max",
             "max per-queue frames visible to software",
+        ),
+        ColumnSpec::int("topo_queue", "switch→host trunk congestion-queue occupancy"),
+        ColumnSpec::int(
+            "topo_drops",
+            "drops this interval: topology links (tail + loss + unroutable)",
         ),
     ]
 }
@@ -356,9 +508,15 @@ pub struct Simulation {
     /// Node 0 is always the node under test; node 1 (if present) is the
     /// Drive Node of a dual-mode run.
     pub nodes: Vec<Node>,
-    /// The hardware load generator (absent in dual-mode).
+    /// The hardware load generator (absent in dual-mode and topology
+    /// mode).
     pub loadgen: Option<EtherLoadGen>,
-    gen_link: Option<EtherLink>,
+    /// The instantiated topology between traffic sources and the test
+    /// node (present in loadgen mode — degenerate — and topology mode;
+    /// absent in dual-mode, which keeps the node-to-node `EtherLink`s).
+    fabric: Option<Fabric>,
+    /// The client fleet driving a fan-in topology (topology mode only).
+    fleet: Option<ClientFleet>,
     loadgen_tx_scheduled: bool,
     /// Optional pdump-style capture tap at the test node's port (both
     /// directions), producing a PCAP byte stream.
@@ -401,7 +559,8 @@ impl Simulation {
             burst_stats: BurstStats::default(),
             nodes: vec![Node::new(cfg, stack, app)],
             loadgen: Some(loadgen),
-            gen_link: Some(EtherLink::new(cfg.link_bandwidth, cfg.link_latency)),
+            fabric: Some(Fabric::point_to_point(cfg)),
+            fleet: None,
             loadgen_tx_scheduled: false,
             capture: None,
             started: false,
@@ -437,7 +596,48 @@ impl Simulation {
                 Node::new(drive_cfg, drive_stack, drive_app),
             ],
             loadgen: None,
-            gen_link: None,
+            fabric: None,
+            fleet: None,
+            loadgen_tx_scheduled: false,
+            capture: None,
+            started: false,
+            tracer: Tracer::disabled(),
+            faults: FaultInjector::disabled(),
+            probe_interval: tick::us(10),
+            sampler: None,
+            profiler: None,
+        }
+    }
+
+    /// Builds a topology-mode simulation: a [`ClientFleet`] of endpoints
+    /// behind a MAC switch feeding the test node over a (optionally
+    /// congestible) trunk — the fan-in described by `cfg.topo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet size disagrees with `cfg.topo.clients`.
+    pub fn topo_mode(
+        cfg: &SystemConfig,
+        stack: Box<dyn NetworkStack>,
+        app: Box<dyn PacketApp>,
+        fleet: ClientFleet,
+    ) -> Self {
+        assert_eq!(
+            fleet.clients(),
+            cfg.topo.clients,
+            "fleet size must match the configured topology"
+        );
+        simnet_net::pool::reset_stats();
+        let fabric = Fabric::incast(cfg, &fleet);
+        Self {
+            queue: EventQueue::new(),
+            burst_size: BURST_INLINE,
+            coalescers: vec![Coalescer::new(BurstSink::Nic { node: 0 })],
+            burst_stats: BurstStats::default(),
+            nodes: vec![Node::new(cfg, stack, app)],
+            loadgen: None,
+            fabric: Some(fabric),
+            fleet: Some(fleet),
             loadgen_tx_scheduled: false,
             capture: None,
             started: false,
@@ -472,6 +672,9 @@ impl Simulation {
         }
         if let Some(lg) = &mut self.loadgen {
             lg.set_tracer(self.tracer.clone());
+        }
+        if let Some(fleet) = &mut self.fleet {
+            fleet.set_tracer(self.tracer.clone());
         }
     }
 
@@ -685,6 +888,12 @@ impl Simulation {
                 self.loadgen_tx_scheduled = true;
             }
         }
+        if let Some(fleet) = &self.fleet {
+            for client in 0..fleet.clients() {
+                self.queue
+                    .schedule(fleet.next_departure(client), Ev::FleetTx { client });
+            }
+        }
         if self.tracer.is_enabled() {
             // MAXIMUM priority: sample queue state after every other
             // same-tick event has settled.
@@ -712,6 +921,9 @@ impl Simulation {
             Ev::EchoBurst { burst } => self.handle_burst(now, BurstSink::LoadGen, burst, until),
             Ev::Probe => self.handle_probe(now),
             Ev::Sample => self.handle_sample(now),
+            Ev::FleetTx { client } => self.handle_fleet_tx(now, client),
+            Ev::SwitchRx { packet } => self.handle_switch_rx(now, packet),
+            Ev::FleetRx { client, packet } => self.handle_fleet_rx(now, client, packet),
         }
     }
 
@@ -902,8 +1114,11 @@ impl Simulation {
         if let Some(lg) = &mut self.loadgen {
             lg.reset_stats();
         }
-        if let Some(link) = &mut self.gen_link {
-            link.reset_stats();
+        if let Some(fabric) = &mut self.fabric {
+            fabric.reset_stats();
+        }
+        if let Some(fleet) = &mut self.fleet {
+            fleet.reset_stats();
         }
         self.faults.reset_counts();
         // The packet pool's alloc/recycle history follows the other
@@ -939,8 +1154,10 @@ impl Simulation {
                 len: packet.len() as u32,
             },
         );
-        let link = self.gen_link.as_mut().expect("loadgen mode has a link");
-        let arrival = link.transmit(now, packet.len());
+        let fabric = self.fabric.as_mut().expect("loadgen mode has a fabric");
+        let Verdict::Deliver(arrival) = fabric.uplinks[0].transmit(now, packet.len()) else {
+            unreachable!("the degenerate uplink is a pure wire: it never drops");
+        };
         self.coalesce_delivery(BurstSink::Nic { node: 0 }, arrival, packet);
         let lg = self.loadgen.as_mut().expect("checked above");
         if let Some(next) = lg.next_departure(now) {
@@ -1125,6 +1342,14 @@ impl Simulation {
 
     /// Appends one time-series row for the test node.
     fn sample_row(&mut self, now: Tick) {
+        if self.sampler.is_none() {
+            return;
+        }
+        // Fabric gauges come first: trunk occupancy needs `&mut` (it
+        // retires serialized frames), which must not overlap the sampler
+        // borrow below.
+        let topo_queue = self.fabric.as_mut().map_or(0, |f| f.trunk_occupancy(now)) as u64;
+        let topo_drops_cum = self.fabric.as_ref().map_or(0, |f| f.drops_total());
         let Some(sampler) = &mut self.sampler else {
             return;
         };
@@ -1136,6 +1361,7 @@ impl Simulation {
             tx_drops: fsm.tx_drops.value(),
             fault_drops: fsm.fault_drops.value(),
             faults: self.faults.counts().total(),
+            topo_drops: topo_drops_cum,
         };
         let prev = sampler.prev;
         let ns = n.nic.stats();
@@ -1166,6 +1392,8 @@ impl Simulation {
             SampleValue::Int(pool.heap_fallback),
             SampleValue::Int(n.nic.rx_fifo_used_max()),
             SampleValue::Int(n.nic.rx_visible_len_max() as u64),
+            SampleValue::Int(topo_queue),
+            SampleValue::Int(cur.topo_drops - prev.topo_drops),
         ]);
         sampler.prev = cur;
         sampler.last_sample = Some(now);
@@ -1227,12 +1455,30 @@ impl Simulation {
                     len: packet.len() as u32,
                 },
             );
-            let arrival = self.nodes[node].out_link.transmit(now, packet.len());
             if self.loadgen.is_some() && node == 0 {
+                // Degenerate topology: the host→loadgen pure wire.
                 Self::tap(&mut self.capture, now, &packet);
+                let fabric = self.fabric.as_mut().expect("loadgen mode has a fabric");
+                let Verdict::Deliver(arrival) = fabric.downlinks[0].transmit(now, packet.len())
+                else {
+                    unreachable!("the degenerate downlink is a pure wire: it never drops");
+                };
                 self.coalesce_delivery(BurstSink::LoadGen, arrival, packet);
+            } else if self.fleet.is_some() && node == 0 {
+                // Fan-in topology: host→switch trunk, then MAC forwarding.
+                Self::tap(&mut self.capture, now, &packet);
+                let fabric = self.fabric.as_mut().expect("topology mode has a fabric");
+                let trunk = fabric.trunk_down.as_mut().expect("fan-in has a trunk");
+                if let Verdict::Deliver(arrival) = trunk.transmit(now, packet.len()) {
+                    self.queue.schedule_with_priority(
+                        arrival,
+                        Priority::LINK,
+                        Ev::SwitchRx { packet },
+                    );
+                }
             } else {
                 let peer = 1 - node;
+                let arrival = self.nodes[node].out_link.transmit(now, packet.len());
                 self.coalesce_delivery(BurstSink::Nic { node: peer }, arrival, packet);
             }
         }
@@ -1247,6 +1493,171 @@ impl Simulation {
         }
         // The TX FIFO drained; the DMA engine may have stalled on it.
         self.maybe_kick_tx_dma(now, node);
+    }
+
+    /// One fleet client's departure: inject a frame onto its uplink and
+    /// reschedule the client's next departure (open loop).
+    fn handle_fleet_tx(&mut self, now: Tick, client: usize) {
+        let Some(fleet) = &mut self.fleet else { return };
+        let packet = fleet.take_packet(client, now);
+        self.tracer.emit(
+            now,
+            packet.id(),
+            Component::Link,
+            Stage::WireTx {
+                len: packet.len() as u32,
+            },
+        );
+        let fabric = self.fabric.as_mut().expect("topology mode has a fabric");
+        if let Verdict::Deliver(arrival) = fabric.uplinks[client].transmit(now, packet.len()) {
+            self.queue
+                .schedule_with_priority(arrival, Priority::LINK, Ev::SwitchRx { packet });
+        }
+        let fleet = self.fleet.as_ref().expect("checked above");
+        self.queue.schedule(
+            fleet.next_departure(client).max(now),
+            Ev::FleetTx { client },
+        );
+    }
+
+    /// A frame reaches the switch: forward by destination MAC onto the
+    /// trunk (toward the host) or a client downlink. Unroutable frames
+    /// are counted and dropped.
+    fn handle_switch_rx(&mut self, now: Tick, packet: Packet) {
+        let fabric = self.fabric.as_mut().expect("switch events imply a fabric");
+        let port = packet
+            .ethernet()
+            .and_then(|eth| fabric.switch.route(eth.dst));
+        match port {
+            None => fabric.unroutable.inc(),
+            Some(0) => {
+                let trunk = fabric.trunk_up.as_mut().expect("port 0 is the trunk");
+                if let Verdict::Deliver(arrival) = trunk.transmit(now, packet.len()) {
+                    // Trunk arrivals are monotone (the busy horizon only
+                    // grows and the latency is constant), so they may
+                    // ride the coalescing transport like any other
+                    // single-source wire direction.
+                    Self::tap(&mut self.capture, now, &packet);
+                    self.coalesce_delivery(BurstSink::Nic { node: 0 }, arrival, packet);
+                }
+            }
+            Some(port) => {
+                let client = port - 1;
+                if let Verdict::Deliver(arrival) =
+                    fabric.downlinks[client].transmit(now, packet.len())
+                {
+                    self.queue.schedule_with_priority(
+                        arrival,
+                        Priority::LINK,
+                        Ev::FleetRx { client, packet },
+                    );
+                }
+            }
+        }
+    }
+
+    /// An echo reaches a fleet client: record the round trip.
+    fn handle_fleet_rx(&mut self, now: Tick, client: usize, packet: Packet) {
+        self.tracer
+            .emit(now, packet.id(), Component::Link, Stage::WireRx);
+        if let Some(fleet) = &mut self.fleet {
+            fleet.on_rx(client, now, &packet);
+        }
+    }
+
+    /// The client fleet (present only in topology mode).
+    pub fn fleet(&self) -> Option<&ClientFleet> {
+        self.fleet.as_ref()
+    }
+
+    /// Registers the `system.topo` fabric statistics: switch and
+    /// per-direction link counters, with per-link breakdowns behind the
+    /// `full` gate. A no-op for the degenerate point-to-point fabric,
+    /// whose wire belongs to the frozen legacy stats surface and must
+    /// not grow new keys.
+    pub fn register_topo_stats(&self, reg: &mut StatsRegistry) {
+        let Some(fabric) = &self.fabric else { return };
+        if fabric.is_degenerate() {
+            return;
+        }
+        reg.scoped("system.topo", |reg| {
+            reg.scalar(
+                "clients",
+                fabric.uplinks.len() as u64,
+                "fleet endpoints behind the switch",
+            );
+            reg.scalar(
+                "unroutable",
+                fabric.unroutable.value(),
+                "frames with no switch route",
+            );
+            if let Some(trunk) = &fabric.trunk_up {
+                reg.scalar(
+                    "trunk.txFrames",
+                    trunk.frames.value(),
+                    "trunk frames toward host",
+                );
+                reg.scalar(
+                    "trunk.txBytes",
+                    trunk.bytes.value(),
+                    "trunk bytes toward host",
+                );
+                reg.scalar(
+                    "trunk.tailDrops",
+                    trunk.tail_drops.value(),
+                    "trunk congestion-queue tail drops",
+                );
+                reg.scalar(
+                    "trunk.lossDrops",
+                    trunk.loss_drops.value(),
+                    "trunk random-loss drops",
+                );
+                reg.scalar(
+                    "trunk.queuePeak",
+                    trunk.queue_peak() as u64,
+                    "trunk congestion-queue high-water mark",
+                );
+            }
+            let up_frames: u64 = fabric.uplinks.iter().map(|l| l.frames.value()).sum();
+            let up_loss: u64 = fabric.uplinks.iter().map(|l| l.loss_drops.value()).sum();
+            let down_frames: u64 = fabric.downlinks.iter().map(|l| l.frames.value()).sum();
+            reg.scalar(
+                "uplinks.txFrames",
+                up_frames,
+                "client uplink frames (all clients)",
+            );
+            reg.scalar(
+                "uplinks.lossDrops",
+                up_loss,
+                "client uplink loss drops (all clients)",
+            );
+            reg.scalar(
+                "downlinks.txFrames",
+                down_frames,
+                "client downlink frames (all clients)",
+            );
+            if reg.full() {
+                for (i, l) in fabric.uplinks.iter().enumerate() {
+                    reg.scalar(
+                        &format!("uplink{i}.txFrames"),
+                        l.frames.value(),
+                        "client uplink frames",
+                    );
+                    reg.scalar(
+                        &format!("uplink{i}.lossDrops"),
+                        l.loss_drops.value(),
+                        "client uplink loss drops",
+                    );
+                }
+                for (i, l) in fabric.downlinks.iter().enumerate() {
+                    reg.scalar(
+                        &format!("downlink{i}.txFrames"),
+                        l.frames.value(),
+                        "client downlink frames",
+                    );
+                }
+            }
+        });
     }
 }
 

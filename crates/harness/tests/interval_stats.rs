@@ -178,8 +178,8 @@ fn timeseries_serializations_carry_the_schema() {
     let header = csv.lines().next().expect("csv header");
     assert!(header.starts_with("t_us,rx_frames,tx_frames,drop_dma"));
     assert!(
-        header.ends_with("pool_in_use,pool_hwm,pool_fallback,rxq_used_max,rxq_visible_max"),
-        "per-queue gauges close the schema: {header}"
+        header.ends_with("rxq_used_max,rxq_visible_max,topo_queue,topo_drops"),
+        "topology gauges close the schema: {header}"
     );
     assert_eq!(
         csv.lines().count(),

@@ -1,0 +1,399 @@
+//! A fleet of synthetic client endpoints driven from compact per-flow
+//! state.
+//!
+//! Topology runs put N clients behind a switch (incast). Materializing N
+//! full [`EtherLoadGen`](crate::EtherLoadGen) objects would cost N RNGs,
+//! N sample sets, and N outstanding maps for what is structurally one
+//! workload; the fleet instead keeps **one** builder, **one** RNG, and
+//! **one** latency aggregate, plus a few words of per-flow state per
+//! client (next departure tick, tx/rx counters). Client *i*'s identity is
+//! derived, not stored: MAC `simulated(CLIENT_MAC_BASE + i)`, source IP
+//! `10.0.1.i`, and a source port chosen per frame from the client's flow
+//! set — round-robin by default, Zipf-skewed popularity when configured.
+//!
+//! Frames are RSS-hashable UDP tuples with the departure timestamp in
+//! the payload (written pre-checksum, see `simnet_net::timestamp`), so a
+//! multi-queue server NIC spreads the fleet across its RX queues and
+//! echoes carry the RTT back.
+
+use simnet_net::{timestamp, MacAddr, Packet, PacketBuilder};
+use simnet_sim::random::{SimRng, Zipf};
+use simnet_sim::stats::{Counter, Histogram, SampleSet, StatsRegistry};
+use simnet_sim::tick::{us, Bandwidth, Tick};
+use simnet_sim::trace::{Component, Stage, Tracer};
+
+use crate::report::LoadGenReport;
+
+/// First `MacAddr::simulated` index used for fleet clients (the server
+/// and the legacy single loadgen use low indices).
+pub const CLIENT_MAC_BASE: u32 = 100;
+
+/// First source port of each client's flow set.
+pub const FLEET_PORT_BASE: u16 = 40_000;
+
+/// A fleet of synthetic clients sharing one builder and one RNG.
+pub struct ClientFleet {
+    clients: usize,
+    frame_len: usize,
+    /// Per-client fixed inter-departure (aggregate interval × clients).
+    interval: Tick,
+    server: MacAddr,
+    dst_ip: [u8; 4],
+    dst_port: u16,
+    flows_per_client: u16,
+    zipf: Option<Zipf>,
+    rng: SimRng,
+    /// Compact per-flow state: the next departure tick per client.
+    next_departure: Vec<Tick>,
+    /// Per-client tx/rx frame counts (fleet-level stats keep one
+    /// aggregate latency set; these stay for per-client drop accounting).
+    client_tx: Vec<u64>,
+    client_rx: Vec<u64>,
+    next_id: u64,
+    tx_packets: Counter,
+    tx_bytes: Counter,
+    rx_packets: Counter,
+    rx_bytes: Counter,
+    latency: SampleSet,
+    latency_histogram: Histogram,
+    tracer: Tracer,
+}
+
+impl ClientFleet {
+    /// A fleet of `clients` endpoints together offering `aggregate`
+    /// frame-byte goodput of `frame_len`-byte frames at `server`.
+    /// Departures are fixed-rate per client and phase-staggered so the
+    /// aggregate stream is evenly spaced — client *i*'s first frame
+    /// leaves at `i × aggregate_interval`.
+    pub fn fixed_rate(
+        clients: usize,
+        frame_len: usize,
+        aggregate: Bandwidth,
+        server: MacAddr,
+        seed: u64,
+    ) -> Self {
+        assert!(clients >= 1, "a fleet needs at least one client");
+        assert!(
+            clients <= 250,
+            "client source IPs live in one /24 (got {clients})"
+        );
+        assert!(
+            frame_len >= timestamp::UDP_OFFSET + timestamp::TIMESTAMP_LEN,
+            "frame_len {frame_len} cannot hold UDP headers + timestamp"
+        );
+        let agg_interval = aggregate.bytes_to_ticks(frame_len as u64).max(1);
+        let interval = agg_interval * clients as Tick;
+        ClientFleet {
+            clients,
+            frame_len,
+            interval,
+            server,
+            dst_ip: [10, 0, 0, 1],
+            dst_port: 9, // discard/echo
+            flows_per_client: 1,
+            zipf: None,
+            rng: SimRng::seed_from(seed),
+            next_departure: (0..clients as Tick).map(|i| i * agg_interval).collect(),
+            client_tx: vec![0; clients],
+            client_rx: vec![0; clients],
+            next_id: 0,
+            tx_packets: Counter::new(),
+            tx_bytes: Counter::new(),
+            rx_packets: Counter::new(),
+            rx_bytes: Counter::new(),
+            latency: SampleSet::with_capacity(1 << 18),
+            latency_histogram: Histogram::new(0.0, us(1000) as f64, 200),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Gives every client `flows` source-port flows; `skew > 0` draws
+    /// each frame's flow from a Zipf distribution over them (popular
+    /// flows dominate), `skew == 0` round-robins.
+    pub fn with_flows(mut self, flows: u16, skew: f64) -> Self {
+        assert!(flows >= 1, "need at least one flow per client");
+        self.flows_per_client = flows;
+        self.zipf = (skew > 0.0 && flows > 1).then(|| Zipf::new(0, u64::from(flows) - 1, skew));
+        self
+    }
+
+    /// Attaches a packet-lifecycle tracer (injections + echo receipts).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Number of client endpoints.
+    pub fn clients(&self) -> usize {
+        self.clients
+    }
+
+    /// Client `i`'s MAC address (derived, not stored).
+    pub fn client_mac(&self, client: usize) -> MacAddr {
+        debug_assert!(client < self.clients);
+        MacAddr::simulated(CLIENT_MAC_BASE + client as u32)
+    }
+
+    /// The tick at which client `client`'s next frame wants to depart.
+    pub fn next_departure(&self, client: usize) -> Tick {
+        self.next_departure[client]
+    }
+
+    /// Materializes client `client`'s frame departing at `now` and
+    /// advances that client's departure clock by the per-client interval.
+    pub fn take_packet(&mut self, client: usize, now: Tick) -> Packet {
+        let id = self.next_id;
+        self.next_id += 1;
+        let flow = if self.flows_per_client <= 1 {
+            0
+        } else if let Some(zipf) = &self.zipf {
+            zipf.sample(&mut self.rng) as u16
+        } else {
+            (id % u64::from(self.flows_per_client)) as u16
+        };
+        let src_ip = [10, 0, 1, client as u8];
+        let src_port = FLEET_PORT_BASE + flow;
+        let packet = PacketBuilder::new()
+            .dst(self.server)
+            .src(self.client_mac(client))
+            .udp(src_ip, self.dst_ip, src_port, self.dst_port)
+            .frame_len(self.frame_len)
+            .build_with(id, self.frame_len - timestamp::UDP_OFFSET, |buf| {
+                timestamp::write_timestamp_slice(buf, 0, now);
+            });
+        self.next_departure[client] = now + self.interval;
+        self.client_tx[client] += 1;
+        self.tx_packets.inc();
+        self.tx_bytes.add(packet.len() as u64);
+        self.tracer.emit(
+            now,
+            packet.id(),
+            Component::LoadGen,
+            Stage::Inject {
+                len: packet.len() as u32,
+            },
+        );
+        packet
+    }
+
+    /// Delivers an echo back to client `client`; measures RTT from the
+    /// in-payload timestamp.
+    pub fn on_rx(&mut self, client: usize, now: Tick, packet: &Packet) {
+        self.tracer
+            .emit(now, packet.id(), Component::LoadGen, Stage::EchoRx);
+        self.client_rx[client] += 1;
+        self.rx_packets.inc();
+        self.rx_bytes.add(packet.len() as u64);
+        if let Some(sent) = timestamp::read_timestamp(packet, timestamp::UDP_OFFSET) {
+            let rtt = now.saturating_sub(sent) as f64;
+            self.latency.record(rtt);
+            self.latency_histogram.record(rtt);
+        }
+    }
+
+    /// Frames transmitted across the fleet.
+    pub fn tx_packets(&self) -> u64 {
+        self.tx_packets.value()
+    }
+
+    /// Echoes received across the fleet.
+    pub fn rx_packets(&self) -> u64 {
+        self.rx_packets.value()
+    }
+
+    /// Per-client `(tx, rx)` frame counts.
+    pub fn client_counts(&self, client: usize) -> (u64, u64) {
+        (self.client_tx[client], self.client_rx[client])
+    }
+
+    /// The fleet-aggregate statistics report over `[start, end]`.
+    pub fn report(&self, start: Tick, end: Tick) -> LoadGenReport {
+        LoadGenReport::compute(
+            self.tx_packets.value(),
+            self.tx_bytes.value(),
+            self.rx_packets.value(),
+            self.rx_bytes.value(),
+            self.latency.summary(),
+            start,
+            end,
+        )
+    }
+
+    /// Registers the `loadgen.*` section (the same shape the single
+    /// generator reports, plus the fleet size).
+    pub fn register_stats(&self, now: Tick, reg: &mut StatsRegistry) {
+        let report = self.report(0, now);
+        let summary = &report.latency;
+        reg.scoped("loadgen", |reg| {
+            reg.scalar("clients", self.clients as u64, "fleet client endpoints");
+            reg.scalar("txPackets", report.tx_packets, "packets injected");
+            reg.scalar("rxPackets", report.rx_packets, "packets echoed back");
+            reg.float("rtt.mean_ns", summary.mean / 1e3, "mean round-trip (ns)");
+            reg.float("rtt.p99_ns", summary.p99 / 1e3, "p99 round-trip (ns)");
+            if reg.full() {
+                reg.scalar("txBytes", report.tx_bytes, "bytes injected");
+                reg.scalar("rxBytes", report.rx_bytes, "bytes echoed back");
+                reg.scalar("rtt.samples", summary.count, "RTT samples recorded");
+                reg.float(
+                    "rtt.median_ns",
+                    summary.median / 1e3,
+                    "median round-trip (ns)",
+                );
+                reg.float("rtt.p90_ns", summary.p90 / 1e3, "p90 round-trip (ns)");
+                reg.float("dropRate", report.drop_rate, "unreturned / injected");
+            }
+        });
+    }
+
+    /// Clears statistics (post-warm-up reset); departure clocks persist.
+    pub fn reset_stats(&mut self) {
+        self.tx_packets.reset();
+        self.tx_bytes.reset();
+        self.rx_packets.reset();
+        self.rx_bytes.reset();
+        self.latency.reset();
+        self.latency_histogram.reset();
+        self.client_tx.iter_mut().for_each(|c| *c = 0);
+        self.client_rx.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+impl std::fmt::Debug for ClientFleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientFleet")
+            .field("clients", &self.clients)
+            .field("tx", &self.tx_packets.value())
+            .field("rx", &self.rx_packets.value())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet_net::rss::queue_for;
+
+    fn fleet(clients: usize) -> ClientFleet {
+        ClientFleet::fixed_rate(
+            clients,
+            256,
+            Bandwidth::gbps(10.0),
+            MacAddr::simulated(1),
+            7,
+        )
+    }
+
+    #[test]
+    fn departures_are_phase_staggered() {
+        let f = fleet(4);
+        // 256 B at 10 Gbps = 204.8 ns aggregate interval.
+        let agg = Bandwidth::gbps(10.0).bytes_to_ticks(256);
+        for c in 0..4 {
+            assert_eq!(f.next_departure(c), agg * c as Tick);
+        }
+    }
+
+    #[test]
+    fn per_client_interval_preserves_aggregate_rate() {
+        let mut f = fleet(4);
+        let t0 = f.next_departure(2);
+        f.take_packet(2, t0);
+        let agg = Bandwidth::gbps(10.0).bytes_to_ticks(256);
+        assert_eq!(f.next_departure(2) - t0, agg * 4);
+    }
+
+    #[test]
+    fn frames_carry_client_identity_and_stamp() {
+        let mut f = fleet(8);
+        let pkt = f.take_packet(5, 1_000);
+        let eth = pkt.ethernet().unwrap();
+        assert_eq!(eth.src, MacAddr::simulated(CLIENT_MAC_BASE + 5));
+        assert_eq!(eth.dst, MacAddr::simulated(1));
+        let (ip, udp, _) = pkt.udp().expect("checksum must verify");
+        assert_eq!(ip.src, [10, 0, 1, 5]);
+        assert_eq!(udp.src_port, FLEET_PORT_BASE);
+        assert_eq!(
+            timestamp::read_timestamp(&pkt, timestamp::UDP_OFFSET),
+            Some(1_000)
+        );
+    }
+
+    #[test]
+    fn rtt_measured_through_on_rx() {
+        let mut f = fleet(2);
+        let pkt = f.take_packet(0, 1_000_000);
+        f.on_rx(0, 6_000_000, &pkt);
+        let report = f.report(0, 10_000_000);
+        assert_eq!(report.latency.count, 1);
+        assert_eq!(report.latency.mean, 5_000_000.0);
+        assert_eq!(f.client_counts(0), (1, 1));
+        assert_eq!(f.client_counts(1), (0, 0));
+    }
+
+    #[test]
+    fn distinct_clients_spread_across_queues() {
+        // Distinct per-client source IPs hash to different queues — the
+        // incast fleet exercises a multi-queue NIC without port games.
+        let mut f = fleet(16);
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..16 {
+            let t = f.next_departure(c);
+            seen.insert(queue_for(&f.take_packet(c, t), 4));
+        }
+        assert!(
+            seen.len() >= 3,
+            "16 source IPs hit ≥3 of 4 queues: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn zipf_flows_skew_port_popularity() {
+        let mut f = fleet(1).with_flows(8, 1.4);
+        let mut counts = [0u32; 8];
+        for i in 0..400 {
+            let pkt = f.take_packet(0, i * 1000);
+            let (_, udp, _) = pkt.udp().unwrap();
+            counts[(udp.src_port - FLEET_PORT_BASE) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max > 2 * min.max(1), "Zipf must skew: {counts:?}");
+        // Round-robin control: perfectly flat.
+        let mut rr = fleet(1).with_flows(8, 0.0);
+        assert!(rr.zipf.is_none());
+        let mut rr_counts = [0u32; 8];
+        for i in 0..400 {
+            let pkt = rr.take_packet(0, i * 1000);
+            let (_, udp, _) = pkt.udp().unwrap();
+            rr_counts[(udp.src_port - FLEET_PORT_BASE) as usize] += 1;
+        }
+        assert_eq!(rr_counts, [50; 8]);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let run = || {
+            let mut f = fleet(4).with_flows(4, 1.2);
+            let mut ids = Vec::new();
+            for i in 0..64 {
+                let c = i % 4;
+                let t = f.next_departure(c);
+                let pkt = f.take_packet(c, t);
+                let (_, udp, _) = pkt.udp().unwrap();
+                ids.push((pkt.id(), udp.src_port, t));
+            }
+            ids
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reset_preserves_departure_clocks() {
+        let mut f = fleet(2);
+        let t = f.next_departure(0);
+        f.take_packet(0, t);
+        let next = f.next_departure(0);
+        f.reset_stats();
+        assert_eq!(f.tx_packets(), 0);
+        assert_eq!(f.next_departure(0), next);
+    }
+}

@@ -22,6 +22,7 @@
 //! [`ramp`] module implements the "bandwidth test mode that gradually
 //! increases the bandwidth to find the maximum sustainable bandwidth".
 
+pub mod fleet;
 pub mod memcached_client;
 pub mod ramp;
 pub mod report;
@@ -29,10 +30,11 @@ pub mod synthetic;
 pub mod tcp_client;
 pub mod trace;
 
+pub use fleet::ClientFleet;
 pub use memcached_client::MemcachedClientConfig;
 pub use ramp::{find_knee, RatePoint, MSB_DROP_THRESHOLD};
 pub use report::LoadGenReport;
-pub use synthetic::SyntheticConfig;
+pub use synthetic::{RssTuples, SyntheticConfig};
 pub use tcp_client::TcpClientConfig;
 pub use trace::TraceConfig;
 
@@ -152,7 +154,7 @@ impl EtherLoadGen {
         self.next_id += 1;
 
         let (mut packet, interval) = match &mut self.mode {
-            LoadGenMode::Synthetic(cfg) => cfg.build(id, &mut self.rng),
+            LoadGenMode::Synthetic(cfg) => cfg.build(id, now, &mut self.rng),
             LoadGenMode::Trace(cfg) => cfg.build(id, now)?,
             LoadGenMode::Memcached(cfg) => cfg.build(id, now, &mut self.rng),
             LoadGenMode::Tcp(cfg) => (cfg.build(id, now)?, None),
@@ -160,8 +162,12 @@ impl EtherLoadGen {
 
         // Synthetic mode stamps the departure tick into the payload at the
         // configurable offset; echoes carry it back for RTT measurement.
+        // RSS/UDP frames were already stamped inside the build, before
+        // checksumming — stamping here would invalidate the checksum.
         if let LoadGenMode::Synthetic(cfg) = &self.mode {
-            timestamp::write_timestamp(&mut packet, cfg.timestamp_offset, now);
+            if !cfg.stamps_in_build() {
+                timestamp::write_timestamp(&mut packet, cfg.timestamp_offset, now);
+            }
         }
 
         if !matches!(self.mode, LoadGenMode::Tcp(_)) {

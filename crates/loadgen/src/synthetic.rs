@@ -5,6 +5,24 @@ use simnet_net::{timestamp, EtherType, MacAddr, Packet, PacketBuilder};
 use simnet_sim::random::{Distribution, SimRng};
 use simnet_sim::tick::{Bandwidth, Tick};
 
+/// RSS-hashable addressing for synthetic frames: a UDP/IPv4 4-tuple per
+/// frame instead of the raw `EtherType::LoadGen` shell. The source port
+/// round-robins over `src_ports` by packet id, so a port list from
+/// `simnet_net::rss::ports_for_queues` spreads the stream across every
+/// RX queue of a multi-queue NIC (raw frames carry no tuple and pin to
+/// queue 0).
+#[derive(Debug, Clone)]
+pub struct RssTuples {
+    /// Source IPv4 address.
+    pub src_ip: [u8; 4],
+    /// Destination IPv4 address.
+    pub dst_ip: [u8; 4],
+    /// Destination UDP port.
+    pub dst_port: u16,
+    /// Source ports cycled by packet id (must be non-empty).
+    pub src_ports: Vec<u16>,
+}
+
 /// Synthetic-mode parameters.
 #[derive(Debug, Clone)]
 pub struct SyntheticConfig {
@@ -19,6 +37,9 @@ pub struct SyntheticConfig {
     /// Payload offset of the embedded timestamp (§IV: "a configurable
     /// offset").
     pub timestamp_offset: usize,
+    /// When set, frames carry this UDP/IPv4 tuple (RSS-hashable) and the
+    /// timestamp moves into the UDP payload, written before the checksum.
+    pub rss: Option<RssTuples>,
 }
 
 impl SyntheticConfig {
@@ -30,6 +51,7 @@ impl SyntheticConfig {
             dst,
             src,
             timestamp_offset: timestamp::DEFAULT_OFFSET,
+            rss: None,
         }
     }
 
@@ -43,7 +65,48 @@ impl SyntheticConfig {
             dst,
             src,
             timestamp_offset: timestamp::DEFAULT_OFFSET,
+            rss: None,
         }
+    }
+
+    /// Switches frames to RSS-hashable UDP tuples: source ports cycle
+    /// over `src_ports` by packet id, and the departure timestamp moves
+    /// to the UDP payload (frame offset 42), written inside the build so
+    /// the UDP checksum still verifies — a post-build stamp would break
+    /// verification and pin every frame back to queue 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty port list or a frame too short to carry the
+    /// headers plus the in-payload timestamp.
+    pub fn with_rss_ports(
+        mut self,
+        src_ip: [u8; 4],
+        dst_ip: [u8; 4],
+        dst_port: u16,
+        src_ports: Vec<u16>,
+    ) -> Self {
+        assert!(!src_ports.is_empty(), "need at least one source port");
+        assert!(
+            self.frame_len >= timestamp::UDP_OFFSET + timestamp::TIMESTAMP_LEN,
+            "frame_len {} cannot hold UDP headers + timestamp",
+            self.frame_len
+        );
+        self.timestamp_offset = timestamp::UDP_OFFSET;
+        self.rss = Some(RssTuples {
+            src_ip,
+            dst_ip,
+            dst_port,
+            src_ports,
+        });
+        self
+    }
+
+    /// Whether [`SyntheticConfig::build`] already stamped the departure
+    /// tick (the RSS/UDP path stamps pre-checksum; the raw path leaves
+    /// stamping to the caller).
+    pub(crate) fn stamps_in_build(&self) -> bool {
+        self.rss.is_some()
     }
 
     /// The mean offered load in gigabits per second of frame bytes.
@@ -55,13 +118,26 @@ impl SyntheticConfig {
         (self.frame_len as f64 * 8.0) / (mean / simnet_sim::tick::S as f64) / 1e9
     }
 
-    pub(crate) fn build(&self, id: u64, rng: &mut SimRng) -> (Packet, Option<Tick>) {
-        let packet = PacketBuilder::new()
-            .dst(self.dst)
-            .src(self.src)
-            .ethertype(EtherType::LoadGen)
-            .frame_len(self.frame_len)
-            .build(id);
+    pub(crate) fn build(&self, id: u64, now: Tick, rng: &mut SimRng) -> (Packet, Option<Tick>) {
+        let packet = match &self.rss {
+            Some(t) => {
+                let sport = t.src_ports[(id as usize) % t.src_ports.len()];
+                PacketBuilder::new()
+                    .dst(self.dst)
+                    .src(self.src)
+                    .udp(t.src_ip, t.dst_ip, sport, t.dst_port)
+                    .frame_len(self.frame_len)
+                    .build_with(id, self.frame_len - timestamp::UDP_OFFSET, |buf| {
+                        timestamp::write_timestamp_slice(buf, 0, now);
+                    })
+            }
+            None => PacketBuilder::new()
+                .dst(self.dst)
+                .src(self.src)
+                .ethertype(EtherType::LoadGen)
+                .frame_len(self.frame_len)
+                .build(id),
+        };
         let interval = self.interarrival.sample(rng).round() as Tick;
         (packet, Some(interval.max(1)))
     }
@@ -93,7 +169,7 @@ mod tests {
             MacAddr::simulated(2),
         );
         let mut rng = SimRng::seed_from(1);
-        let (pkt, interval) = cfg.build(9, &mut rng);
+        let (pkt, interval) = cfg.build(9, 0, &mut rng);
         assert_eq!(pkt.len(), 256);
         assert_eq!(pkt.id(), 9);
         assert_eq!(pkt.ethernet().unwrap().dst, MacAddr::simulated(1));
@@ -110,8 +186,52 @@ mod tests {
             MacAddr::simulated(2),
         );
         let mut rng = SimRng::seed_from(2);
-        let (_, a) = cfg.build(0, &mut rng);
-        let (_, b) = cfg.build(1, &mut rng);
+        let (_, a) = cfg.build(0, 0, &mut rng);
+        let (_, b) = cfg.build(1, 0, &mut rng);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rss_frames_carry_valid_udp_tuples_and_stamps() {
+        let ports = vec![40_000u16, 40_001, 40_002];
+        let cfg = SyntheticConfig::fixed_rate(
+            256,
+            Bandwidth::gbps(10.0),
+            MacAddr::simulated(1),
+            MacAddr::simulated(2),
+        )
+        .with_rss_ports([10, 0, 0, 2], [10, 0, 0, 1], 9, ports.clone());
+        assert_eq!(cfg.timestamp_offset, timestamp::UDP_OFFSET);
+        let mut rng = SimRng::seed_from(1);
+        for id in 0..6u64 {
+            let (pkt, _) = cfg.build(id, 123_456, &mut rng);
+            let (_, udp, _) = pkt.udp().expect("checksum must verify");
+            assert_eq!(udp.src_port, ports[(id as usize) % ports.len()]);
+            assert_eq!(udp.dst_port, 9);
+            assert_eq!(
+                timestamp::read_timestamp(&pkt, timestamp::UDP_OFFSET),
+                Some(123_456)
+            );
+        }
+    }
+
+    #[test]
+    fn rss_frames_spread_across_queues() {
+        use simnet_net::rss::{ports_for_queues, queue_for};
+        let nq = 4;
+        let ports = ports_for_queues([10, 0, 0, 2], [10, 0, 0, 1], 9, nq);
+        let cfg = SyntheticConfig::fixed_rate(
+            128,
+            Bandwidth::gbps(10.0),
+            MacAddr::simulated(1),
+            MacAddr::simulated(2),
+        )
+        .with_rss_ports([10, 0, 0, 2], [10, 0, 0, 1], 9, ports);
+        let mut rng = SimRng::seed_from(1);
+        let queues: Vec<usize> = (0..8u64)
+            .map(|id| queue_for(&cfg.build(id, id, &mut rng).0, nq))
+            .collect();
+        assert_eq!(&queues[..4], &[0, 1, 2, 3], "ports_for_queues round-robin");
+        assert_eq!(&queues[4..], &[0, 1, 2, 3]);
     }
 }

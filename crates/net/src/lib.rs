@@ -19,6 +19,9 @@
 //!   deliveries as single events, DPDK-`rx_burst`-style.
 //! * [`rss`] — the Toeplitz receive-side-scaling hash steering flows to
 //!   RX queues.
+//! * [`topo`] — topology graphs: named nodes joined by links carrying
+//!   latency/bandwidth/queue/loss policies, plus the MAC-forwarding
+//!   switch.
 //! * [`timestamp`] — the load generator's in-payload timestamps (§IV).
 //! * [`pcap`] — PCAP file reading/writing (tcpdump/dpdk-pdump stand-in).
 //! * [`proto`] — application protocols (memcached-over-UDP).
@@ -35,6 +38,7 @@ pub mod proto;
 pub mod rss;
 pub mod tcp;
 pub mod timestamp;
+pub mod topo;
 pub mod udp;
 
 pub use burst::{Burst, BurstEntry, SmallVec, BURST_INLINE};

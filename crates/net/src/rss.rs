@@ -100,6 +100,25 @@ pub fn key_shard(key: &[u8], shards: usize) -> usize {
     (h % shards as u64) as usize
 }
 
+/// The first port the per-queue source-port search considers.
+pub const PORT_SEARCH_START: u16 = 40_000;
+
+/// The smallest client source port in `PORT_SEARCH_START..=u16::MAX`
+/// whose 4-tuple RSS-hashes to queue `q` on an `nqueues`-queue NIC, or
+/// `None` when no port in the ephemeral range steers there. The search
+/// range is inclusive of `u16::MAX`: 65535 is a legal source port and a
+/// legal candidate.
+pub fn port_for_queue(
+    src_ip: [u8; 4],
+    dst_ip: [u8; 4],
+    dst_port: u16,
+    nqueues: usize,
+    q: usize,
+) -> Option<u16> {
+    (PORT_SEARCH_START..=u16::MAX)
+        .find(|&p| (hash_tuple(src_ip, dst_ip, p, dst_port) as usize) % nqueues == q)
+}
+
 /// For each queue index `q` in `0..nqueues`, the smallest client source
 /// port ≥ 40000 whose 4-tuple RSS-hashes to `q`. Deterministic, so the
 /// client and any replay agree on the steering without negotiation.
@@ -116,8 +135,7 @@ pub fn ports_for_queues(
 ) -> Vec<u16> {
     (0..nqueues)
         .map(|q| {
-            (40_000..u16::MAX)
-                .find(|&p| (hash_tuple(src_ip, dst_ip, p, dst_port) as usize) % nqueues == q)
+            port_for_queue(src_ip, dst_ip, dst_port, nqueues, q)
                 .expect("every queue is reachable from the port range")
         })
         .collect()
@@ -185,6 +203,36 @@ mod tests {
                 assert_eq!(queue_for(&pkt, n), q, "port {p} must steer to queue {q}");
             }
         }
+    }
+
+    #[test]
+    fn port_search_range_includes_the_top_port() {
+        // Regression: the search once ran over `40_000..u16::MAX`, which
+        // silently excluded port 65535. Find a queue count where 65535 is
+        // the *only* ephemeral port steering to its queue; the search
+        // must then return exactly 65535 — with the exclusive bound it
+        // returned `None` instead.
+        let (src, dst, dport) = ([10, 0, 0, 2], [10, 0, 0, 1], 11_211);
+        let mut witnessed = false;
+        for shift in 17..=24u32 {
+            let n = 1usize << shift;
+            let q = (hash_tuple(src, dst, u16::MAX, dport) as usize) % n;
+            let collides = (PORT_SEARCH_START..u16::MAX)
+                .any(|p| (hash_tuple(src, dst, p, dport) as usize) % n == q);
+            if !collides {
+                assert_eq!(
+                    port_for_queue(src, dst, dport, n, q),
+                    Some(u16::MAX),
+                    "queue {q} of {n} is reachable only via port 65535"
+                );
+                witnessed = true;
+                break;
+            }
+        }
+        assert!(
+            witnessed,
+            "no queue count isolated port 65535; widen the shift range"
+        );
     }
 
     #[test]

@@ -17,6 +17,13 @@ pub const TIMESTAMP_LEN: usize = 10;
 /// right after the 14-byte Ethernet header.
 pub const DEFAULT_OFFSET: usize = 14;
 
+/// Byte offset (from frame start) of the payload of a UDP-in-IPv4 frame:
+/// 14 B Ethernet + 20 B IPv4 + 8 B UDP. Timestamps in RSS-hashable UDP
+/// frames live here — and must be written *before* the UDP checksum is
+/// computed (via `PacketBuilder::build_with`), or the frame fails
+/// checksum verification and falls back to queue 0.
+pub const UDP_OFFSET: usize = 42;
+
 const MAGIC: [u8; 2] = [0x5A, 0x5A];
 
 /// Writes a transmit timestamp into `packet` at `offset`.
@@ -24,7 +31,14 @@ const MAGIC: [u8; 2] = [0x5A, 0x5A];
 /// Returns `false` (and leaves the packet unchanged) if the frame is too
 /// short to hold the timestamp at that offset.
 pub fn write_timestamp(packet: &mut Packet, offset: usize, tick: Tick) -> bool {
-    let bytes = packet.bytes_mut();
+    write_timestamp_slice(packet.bytes_mut(), offset, tick)
+}
+
+/// Writes a timestamp into a raw byte slice at `offset` — the same wire
+/// format as [`write_timestamp`], for callers that stamp a payload region
+/// *before* it is checksummed (the `build_with` fill closure of a UDP
+/// frame). Returns `false` if the slice is too short.
+pub fn write_timestamp_slice(bytes: &mut [u8], offset: usize, tick: Tick) -> bool {
     let Some(end) = offset.checked_add(TIMESTAMP_LEN) else {
         return false;
     };
@@ -89,6 +103,32 @@ mod tests {
     fn unstamped_packet_reads_none() {
         let pkt = packet(64);
         assert_eq!(read_timestamp(&pkt, DEFAULT_OFFSET), None);
+    }
+
+    #[test]
+    fn prechecksum_stamp_keeps_udp_frame_valid() {
+        // Stamping inside the build_with fill closure happens before the
+        // UDP checksum is computed, so the frame still verifies — the
+        // property RSS steering of stamped frames depends on.
+        let pkt = PacketBuilder::new()
+            .udp([10, 0, 0, 2], [10, 0, 0, 1], 40_000, 9)
+            .frame_len(64)
+            .build_with(0, 64 - UDP_OFFSET, |buf| {
+                assert!(write_timestamp_slice(buf, 0, 777));
+            });
+        assert!(pkt.udp().is_some(), "checksum must verify");
+        assert_eq!(read_timestamp(&pkt, UDP_OFFSET), Some(777));
+        // A *post*-build stamp corrupts the checksum: the guard the
+        // pre-checksum path exists to avoid.
+        let mut post = PacketBuilder::new()
+            .udp([10, 0, 0, 2], [10, 0, 0, 1], 40_000, 9)
+            .frame_len(64)
+            .build(0);
+        assert!(write_timestamp(&mut post, UDP_OFFSET, 777));
+        assert!(
+            post.udp().is_none(),
+            "post-build stamp must break verification"
+        );
     }
 
     #[test]

@@ -102,12 +102,13 @@ fn burst_point(burst: usize, fault_seed: Option<u64>) -> TracedRun {
 }
 
 /// The multi-queue golden point: the same light TestPMD workload as
-/// [`golden_point`], but on a 2-queue NIC with 2 worker lcores. The
-/// synthetic LoadGen frames carry no UDP tuple, so RSS steers them all
-/// to queue 0 — the golden pins exactly the interesting part: the
-/// multi-queue event schedule (per-queue DMA kicks, the second lcore's
-/// software wakeups, partitioned FIFOs) around a single-queue traffic
-/// pattern.
+/// [`golden_point`], but on a 2-queue NIC with 2 worker lcores. On a
+/// multi-queue NIC the synthetic generator emits RSS-hashable UDP
+/// frames whose source ports round-robin one port per queue, so the
+/// stream genuinely spreads across both queues — the golden pins the
+/// full multi-queue event schedule: per-queue DMA kicks, both lcores'
+/// software wakeups, partitioned FIFOs, and the interleaved echo
+/// stream.
 fn mq_point() -> TracedRun {
     let cfg = SystemConfig::gem5().with_queues(2).with_lcores(2);
     let rc = RunConfig {
