@@ -30,7 +30,8 @@ use std::time::Instant;
 
 use simnet_harness::config::TopoConfig;
 use simnet_harness::{run_point, AppSpec, RunConfig, SystemConfig};
-use simnet_sim::tick::us;
+use simnet_net::topo::{LinkPolicy, TopoLink, Verdict};
+use simnet_sim::tick::{us, Bandwidth};
 
 /// Offered aggregate rate (Gbps of 1518 B frames) past the host's knee,
 /// so every row reports its saturation point through the fabric.
@@ -81,11 +82,43 @@ fn run_rows() -> Vec<Row> {
         .collect()
 }
 
-fn fmt_json(rows: &[Row], base_krps: f64) -> String {
+/// Same-process micro-measurement of the pure-wire fast path: per-call
+/// cost of the full `transmit` Verdict path over `transmit_wire` on
+/// identical lossless links. This is the overhead the fast path
+/// recovers on every degenerate point-to-point hop (the flat fabric
+/// cost PR 9 measured); >1.0 means the fast path is cheaper. Host-noisy
+/// but same-process, so the two sides see identical machine conditions.
+fn measure_wire_fastpath_ratio() -> f64 {
+    const CALLS: u64 = 4_000_000;
+    let policy = LinkPolicy::wire(Bandwidth::gbps(100.0), us(2));
+    let mut slow = TopoLink::new(policy, 1);
+    let mut fast = TopoLink::new(policy, 1);
+    let mut acc = 0u64;
+    let t_slow = Instant::now();
+    for i in 0..CALLS {
+        match slow.transmit(i * 200, FRAME) {
+            Verdict::Deliver(at) => acc ^= at,
+            Verdict::TailDrop | Verdict::LossDrop => unreachable!("pure wire"),
+        }
+    }
+    let slow_ns = t_slow.elapsed().as_nanos() as f64;
+    let t_fast = Instant::now();
+    for i in 0..CALLS {
+        acc ^= fast.transmit_wire(i * 200, FRAME);
+    }
+    let fast_ns = t_fast.elapsed().as_nanos() as f64;
+    std::hint::black_box(acc);
+    slow_ns / fast_ns.max(1.0)
+}
+
+fn fmt_json(rows: &[Row], base_krps: f64, wire_fastpath_ratio: f64) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"bench-topo-v1\",\n");
     out.push_str(&format!("  \"offered_gbps\": {OFFERED_GBPS},\n"));
     out.push_str(&format!("  \"frame_bytes\": {FRAME},\n"));
+    out.push_str(&format!(
+        "  \"wire_fastpath_ratio\": {wire_fastpath_ratio:.2},\n"
+    ));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -193,7 +226,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let json = fmt_json(&rows, base_krps);
+    let wire_fastpath_ratio = measure_wire_fastpath_ratio();
+    println!(
+        "  wire fast path: transmit/transmit_wire per-call cost {wire_fastpath_ratio:.2}x \
+         (recovered Verdict-path overhead; informational)"
+    );
+
+    let json = fmt_json(&rows, base_krps, wire_fastpath_ratio);
     if let Some(path) = &out_path {
         if let Err(e) = std::fs::write(path, &json) {
             eprintln!("error: could not write {path}: {e}");

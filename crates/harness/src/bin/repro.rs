@@ -7,7 +7,7 @@
 //! repro [--trace PATH] [--trace-filter COMPONENTS] [--trace-gbps G]
 //!       [--stats-out FILE] [--stats-interval US] [--profile]
 //!       [--faults PLAN] [--fault-seed N] [--burst N] [--frame BYTES]
-//!       [--nqueues N] [--lcores N] [--topo CLIENTS]
+//!       [--nqueues N] [--lcores N] [--topo CLIENTS] [--threads N]
 //! ```
 //!
 //! Results print as tables and are written as CSVs under `--out`
@@ -47,6 +47,16 @@
 //! feeds the host NIC. `--topo 1` (the default) keeps the legacy wire;
 //! the experiment `topo-sweep` sweeps the fan-in axis.
 //!
+//! `--threads N` runs the single point on the sharded parallel driver:
+//! each topology node (client, switch, host, load generator) gets its own
+//! event loop on a worker-thread pool of N threads, synchronized by
+//! conservative link-latency lookahead. `--threads 0` auto-detects the
+//! core count (clamped to the shard count). Any `--threads N` is
+//! byte-identical to `--threads 1` by construction; omitting the flag
+//! runs the legacy single-threaded driver, which stays the determinism
+//! reference. The wire-delivery transport is scalar in sharded mode, so
+//! `--burst` is ignored there.
+//!
 //! `--faults PLAN` installs a deterministic fault plan for the run
 //! (grammar: `link.ber=1e-7;pci.stall=200ns@10%;dma.burst=+500ns/1us`; see
 //! `simnet_sim::fault::FaultPlan`). `--fault-seed N` picks the fault RNG
@@ -57,7 +67,9 @@ use std::process::ExitCode;
 
 use simnet_harness::config::TopoConfig;
 use simnet_harness::experiments::{self, Effort, ExperimentOutput};
-use simnet_harness::{run_observed, AppSpec, ObserveOpts, RunConfig, SystemConfig};
+use simnet_harness::{
+    run_observed, run_observed_parallel, AppSpec, ObserveOpts, RunConfig, SystemConfig,
+};
 use simnet_sim::fault::FaultInjector;
 use simnet_sim::fault::FaultPlan;
 use simnet_sim::tick;
@@ -129,6 +141,17 @@ fn run_one(name: &str, effort: Effort) -> Option<ExperimentOutput> {
     Some(out)
 }
 
+/// The observables of one single-point run, whichever driver produced
+/// them (`run_observed` or `run_observed_parallel`).
+struct Point {
+    events: Vec<simnet_sim::trace::TraceEvent>,
+    evicted: u64,
+    summary: simnet_harness::RunSummary,
+    fault_counts: simnet_sim::fault::FaultCounts,
+    timeseries: Option<simnet_sim::stats::TimeSeries>,
+    profile: Option<simnet_sim::stats::Profiler>,
+}
+
 /// The single-point observed run: which layers `--trace`, `--stats-out`
 /// and `--profile` selected.
 struct PointMode {
@@ -142,6 +165,7 @@ struct PointMode {
     nqueues: usize,
     lcores: usize,
     topo: usize,
+    threads: Option<usize>,
 }
 
 fn write_file(path: &PathBuf, contents: &str) -> Result<(), ExitCode> {
@@ -197,23 +221,41 @@ fn run_point_mode(mode: &PointMode, offered_gbps: f64, faults: FaultInjector) ->
             mode.topo
         );
     }
-    let run = run_observed(
-        &cfg,
-        &spec,
-        mode.frame,
-        offered_gbps,
-        rc,
-        ObserveOpts {
-            trace: mode.trace_path.as_ref().map(|_| (1 << 22, mode.trace_mask)),
-            faults,
-            stats_interval: mode
-                .stats_path
-                .as_ref()
-                .map(|_| tick::us(mode.stats_interval_us.max(1))),
-            profile: mode.profile,
-            burst: mode.burst,
-        },
-    );
+    let opts = ObserveOpts {
+        trace: mode.trace_path.as_ref().map(|_| (1 << 22, mode.trace_mask)),
+        faults,
+        stats_interval: mode
+            .stats_path
+            .as_ref()
+            .map(|_| tick::us(mode.stats_interval_us.max(1))),
+        profile: mode.profile,
+        burst: mode.burst,
+    };
+    let run = if let Some(threads) = mode.threads {
+        let out = run_observed_parallel(&cfg, &spec, mode.frame, offered_gbps, rc, threads, opts);
+        println!(
+            "parallel: {} shards on {} worker threads (conservative lookahead sync)",
+            out.shards, out.threads
+        );
+        Point {
+            events: out.events,
+            evicted: out.evicted,
+            summary: out.summary,
+            fault_counts: out.fault_counts,
+            timeseries: out.timeseries,
+            profile: out.profile,
+        }
+    } else {
+        let run = run_observed(&cfg, &spec, mode.frame, offered_gbps, rc, opts);
+        Point {
+            events: run.events,
+            evicted: run.evicted,
+            summary: run.summary,
+            fault_counts: run.fault_counts,
+            timeseries: run.timeseries,
+            profile: run.profile,
+        }
+    };
 
     if let Some(path) = &mode.trace_path {
         // The FSM counters reset at the end of warm-up; compare only
@@ -351,6 +393,7 @@ fn main() -> ExitCode {
     let mut nqueues = 1usize;
     let mut lcores = 1usize;
     let mut topo = 1usize;
+    let mut threads: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -438,6 +481,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--threads" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) => threads = Some(n),
+                None => {
+                    eprintln!("--threads requires a worker count (0 = auto-detect)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--faults" => match args.next().as_deref().map(FaultPlan::parse) {
                 Some(Ok(plan)) => fault_plan = Some(plan),
                 Some(Err(e)) => {
@@ -462,7 +512,9 @@ fn main() -> ExitCode {
                      \x20      repro [--trace PATH] [--trace-filter COMPONENTS] [--trace-gbps G]\n\
                      \x20            [--stats-out FILE] [--stats-interval US] [--profile]\n\
                      \x20            [--faults PLAN] [--fault-seed N] [--burst N] [--frame BYTES]\n\
-                     \x20            [--nqueues N] [--lcores N] [--topo CLIENTS]",
+                     \x20            [--nqueues N] [--lcores N] [--topo CLIENTS] [--threads N]\n\
+                     \x20      --threads N: sharded parallel driver on N worker threads\n\
+                     \x20                   (0 = auto-detect; results byte-identical to --threads 1)",
                     EXPERIMENTS.join("|")
                 );
                 return ExitCode::SUCCESS;
@@ -495,6 +547,7 @@ fn main() -> ExitCode {
             nqueues,
             lcores,
             topo,
+            threads,
         };
         return run_point_mode(&mode, trace_gbps, faults);
     }
@@ -504,6 +557,10 @@ fn main() -> ExitCode {
     }
     if topo != 1 {
         eprintln!("--topo only applies to single-point runs (see topo-sweep)");
+        return ExitCode::FAILURE;
+    }
+    if threads.is_some() {
+        eprintln!("--threads only applies to single-point runs");
         return ExitCode::FAILURE;
     }
     if faults.is_enabled() {

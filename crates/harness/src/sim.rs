@@ -27,9 +27,11 @@ use simnet_stack::{Iteration, NetworkStack, PacketApp};
 
 use crate::config::SystemConfig;
 
-/// Simulation events.
+/// Simulation events. Shared with the sharded driver
+/// (`crate::parallel`), whose per-shard event loops dispatch the same
+/// payloads over disjoint state.
 #[derive(Debug)]
-enum Ev {
+pub(crate) enum Ev {
     /// The load generator's next departure.
     LoadGenTx,
     /// A frame arrives at a node's NIC.
@@ -63,10 +65,17 @@ enum Ev {
     SwitchRx { packet: Packet },
     /// An echo arrives back at a fleet client (topology mode).
     FleetRx { client: usize, packet: Packet },
+    /// A cross-shard wire delivery in flight (sharded driver only): the
+    /// packet stays as plain bytes until the event executes, so the
+    /// receiving shard's pool sees the allocation at dispatch time —
+    /// making pool counters a function of the event schedule, not of
+    /// worker-thread drain timing. `kind` selects which concrete arrival
+    /// event the bytes rematerialize into.
+    ShardRx { kind: u8, id: u64, bytes: Vec<u8> },
 }
 
 /// Host-time attribution labels, one per [`Ev`] kind: `(kind, component)`.
-const PROFILE_KINDS: &[(&str, &str)] = &[
+pub(crate) const PROFILE_KINDS: &[(&str, &str)] = &[
     ("loadgen_tx", "loadgen"),
     ("nic_rx", "link"),
     ("loadgen_rx", "loadgen"),
@@ -82,7 +91,7 @@ const PROFILE_KINDS: &[(&str, &str)] = &[
 ];
 
 /// Index into [`PROFILE_KINDS`] for an event payload.
-fn kind_index(ev: &Ev) -> usize {
+pub(crate) fn kind_index(ev: &Ev) -> usize {
     match ev {
         Ev::LoadGenTx => 0,
         Ev::NicRx { .. } | Ev::RxBurst { .. } => 1,
@@ -96,6 +105,9 @@ fn kind_index(ev: &Ev) -> usize {
         Ev::FleetTx { .. } => 9,
         Ev::SwitchRx { .. } => 10,
         Ev::FleetRx { .. } => 11,
+        Ev::ShardRx { .. } => {
+            unreachable!("sharded dispatch materializes the concrete arrival before profiling")
+        }
     }
 }
 
@@ -155,34 +167,34 @@ impl Coalescer {
 /// exactly one pure wire per direction, whose arrival arithmetic is
 /// tick-identical to the `EtherLink` pair it replaced — the legacy
 /// schedule is the 2-node/1-link special case, byte for byte.
-struct Fabric {
+pub(crate) struct Fabric {
     /// Per-client uplinks toward the switch — or, degenerate, the single
     /// loadgen→host wire at index 0.
-    uplinks: Vec<TopoLink>,
+    pub(crate) uplinks: Vec<TopoLink>,
     /// Per-client downlinks from the switch (degenerate: host→loadgen).
-    downlinks: Vec<TopoLink>,
+    pub(crate) downlinks: Vec<TopoLink>,
     /// Switch→host trunk (fan-in topologies only).
-    trunk_up: Option<TopoLink>,
+    pub(crate) trunk_up: Option<TopoLink>,
     /// Host→switch trunk (fan-in topologies only).
-    trunk_down: Option<TopoLink>,
+    pub(crate) trunk_down: Option<TopoLink>,
     /// Destination-MAC forwarding table. Port 0 is the trunk toward the
     /// host; port `i + 1` is client `i`'s downlink.
-    switch: Switch,
+    pub(crate) switch: Switch,
     /// Frames whose destination MAC had no switch route (counted and
     /// dropped — no flooding in this model).
-    unroutable: Counter,
+    pub(crate) unroutable: Counter,
 }
 
 impl Fabric {
     /// Deterministic per-link loss-stream seed: the workload seed mixed
     /// with the link index (splitmix64 odd constant), so links draw
     /// independent streams and runs replay exactly.
-    fn link_seed(seed: u64, index: usize) -> u64 {
+    pub(crate) fn link_seed(seed: u64, index: usize) -> u64 {
         seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
     }
 
     /// The degenerate two-node topology: one pure wire per direction.
-    fn point_to_point(cfg: &SystemConfig) -> Self {
+    pub(crate) fn point_to_point(cfg: &SystemConfig) -> Self {
         let topo = Topology::point_to_point(cfg.link_bandwidth, cfg.link_latency);
         let links = topo.links();
         Fabric {
@@ -199,7 +211,7 @@ impl Fabric {
     /// pairs into a switch whose trunk (optionally carrying a bounded
     /// congestion queue) feeds the host. Link order follows
     /// [`Topology::incast`]: trunk pair first, then per-client pairs.
-    fn incast(cfg: &SystemConfig, fleet: &ClientFleet) -> Self {
+    pub(crate) fn incast(cfg: &SystemConfig, fleet: &ClientFleet) -> Self {
         let t = &cfg.topo;
         let topo = Topology::incast(
             t.clients,
@@ -260,7 +272,7 @@ impl Fabric {
 
     /// Cumulative drops across the whole fabric: tail-drops and loss
     /// draws on every link, plus unroutable frames at the switch.
-    fn drops_total(&self) -> u64 {
+    pub(crate) fn drops_total(&self) -> u64 {
         self.links()
             .map(|l| l.tail_drops.value() + l.loss_drops.value())
             .sum::<u64>()
@@ -269,7 +281,7 @@ impl Fabric {
 
     /// Current switch→host trunk congestion-queue occupancy (0 when
     /// degenerate or unbounded).
-    fn trunk_occupancy(&mut self, now: Tick) -> usize {
+    pub(crate) fn trunk_occupancy(&mut self, now: Tick) -> usize {
         self.trunk_up.as_mut().map_or(0, |l| l.occupancy(now))
     }
 
@@ -284,27 +296,27 @@ impl Fabric {
 /// Cumulative counter values at the previous interval sample, for the
 /// per-interval delta columns.
 #[derive(Debug, Default, Clone, Copy)]
-struct SampleBaseline {
-    dma_drops: u64,
-    core_drops: u64,
-    tx_drops: u64,
-    fault_drops: u64,
-    faults: u64,
-    topo_drops: u64,
+pub(crate) struct SampleBaseline {
+    pub(crate) dma_drops: u64,
+    pub(crate) core_drops: u64,
+    pub(crate) tx_drops: u64,
+    pub(crate) fault_drops: u64,
+    pub(crate) faults: u64,
+    pub(crate) topo_drops: u64,
 }
 
 /// The interval time-series sampler: a periodic simulation event that
 /// snapshots registered counters and live queue gauges into a
 /// [`TimeSeries`] (one row per interval).
-struct IntervalSampler {
-    interval: Tick,
-    series: TimeSeries,
-    prev: SampleBaseline,
-    last_sample: Option<Tick>,
+pub(crate) struct IntervalSampler {
+    pub(crate) interval: Tick,
+    pub(crate) series: TimeSeries,
+    pub(crate) prev: SampleBaseline,
+    pub(crate) last_sample: Option<Tick>,
 }
 
 impl IntervalSampler {
-    fn new(interval: Tick) -> Self {
+    pub(crate) fn new(interval: Tick) -> Self {
         Self {
             interval,
             series: TimeSeries::new(sample_columns()),
@@ -317,7 +329,7 @@ impl IntervalSampler {
 /// The interval time-series schema. Cumulative columns restart from the
 /// warm-up reset; `drop_*` and `faults` are per-interval deltas, so they
 /// sum exactly to the final drop-FSM and fault-injection counters.
-fn sample_columns() -> Vec<ColumnSpec> {
+pub(crate) fn sample_columns() -> Vec<ColumnSpec> {
     vec![
         ColumnSpec::float("t_us", "sample time (simulated microseconds)"),
         ColumnSpec::int("rx_frames", "cumulative frames accepted from the wire"),
@@ -384,16 +396,20 @@ pub struct Node {
     /// Link from this node toward its peer (NIC TX side).
     out_link: EtherLink,
     /// Per-lcore software-iteration scheduling flags.
-    sw_scheduled: Vec<bool>,
-    sw_waiting: Vec<bool>,
+    pub(crate) sw_scheduled: Vec<bool>,
+    pub(crate) sw_waiting: Vec<bool>,
     /// Per-queue DMA-engine scheduling flags.
-    rx_dma_scheduled: Vec<bool>,
-    tx_dma_scheduled: Vec<bool>,
-    tx_wire_scheduled: bool,
+    pub(crate) rx_dma_scheduled: Vec<bool>,
+    pub(crate) tx_dma_scheduled: Vec<bool>,
+    pub(crate) tx_wire_scheduled: bool,
 }
 
 impl Node {
-    fn new(cfg: &SystemConfig, mut stack: Box<dyn NetworkStack>, app: Box<dyn PacketApp>) -> Self {
+    pub(crate) fn new(
+        cfg: &SystemConfig,
+        mut stack: Box<dyn NetworkStack>,
+        app: Box<dyn PacketApp>,
+    ) -> Self {
         let mut nic = Nic::new(cfg.nic);
         let mut mem = MemorySystem::new(cfg.mem);
         mem.set_core_frequency(cfg.core.frequency);
@@ -445,7 +461,7 @@ impl Node {
 
     /// Runs one stack iteration on `lcore`, activating its private cache
     /// hierarchy first.
-    fn run_lcore(&mut self, now: Tick, lcore: usize) -> Iteration {
+    pub(crate) fn run_lcore(&mut self, now: Tick, lcore: usize) -> Iteration {
         self.mem.set_active_core(lcore);
         if lcore == 0 {
             self.stack.iteration(
@@ -467,7 +483,7 @@ impl Node {
         }
     }
 
-    fn wakeup_latency_of(&self, lcore: usize) -> Tick {
+    pub(crate) fn wakeup_latency_of(&self, lcore: usize) -> Tick {
         if lcore == 0 {
             self.stack.wakeup_latency()
         } else {
@@ -475,7 +491,7 @@ impl Node {
         }
     }
 
-    fn next_tx_of(&mut self, lcore: usize, at: Tick) -> Option<Tick> {
+    pub(crate) fn next_tx_of(&mut self, lcore: usize, at: Tick) -> Option<Tick> {
         if lcore == 0 {
             self.app.next_tx_at(at)
         } else {
@@ -486,12 +502,46 @@ impl Node {
     /// Earliest tick at which a packet becomes visible on any queue this
     /// lcore services (round-robin assignment: queue `q` belongs to
     /// lcore `q mod nlcores`).
-    fn rx_next_visible_for(&self, lcore: usize) -> Option<Tick> {
+    pub(crate) fn rx_next_visible_for(&self, lcore: usize) -> Option<Tick> {
         let nlcores = self.lcores();
         (0..self.nic.num_queues())
             .filter(|q| q % nlcores == lcore)
             .filter_map(|q| self.nic.rx_next_visible_at_q(q))
             .min()
+    }
+
+    /// Adds one worker lcore: a private core cloned from lcore 0's
+    /// config, an independent stack instance, and an application shard.
+    /// Queue assignments for *every* lcore are recomputed round-robin
+    /// and the memory system grows a private L1/L2 hierarchy per core.
+    /// (The [`Simulation::add_worker`] wrapper adds the not-started
+    /// assertion and tracer distribution; the sharded driver calls this
+    /// directly while building a host shard off-thread.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node would end up with more lcores than NIC queues
+    /// (an lcore with nothing to poll).
+    pub(crate) fn attach_worker(&mut self, stack: Box<dyn NetworkStack>, app: Box<dyn PacketApp>) {
+        let core = Core::new(*self.core.config());
+        self.workers.push(Worker { core, stack, app });
+        self.sw_scheduled.push(false);
+        self.sw_waiting.push(false);
+        let nq = self.nic.num_queues();
+        let nlcores = self.lcores();
+        assert!(
+            nlcores <= nq,
+            "{nlcores} lcores need at least as many NIC queues (have {nq})"
+        );
+        for lcore in 0..nlcores {
+            let queues: Vec<usize> = (0..nq).filter(|q| q % nlcores == lcore).collect();
+            if lcore == 0 {
+                self.stack.assign_queues(queues);
+            } else {
+                self.workers[lcore - 1].stack.assign_queues(queues);
+            }
+        }
+        self.mem.set_num_cores(nlcores);
     }
 }
 
@@ -700,26 +750,7 @@ impl Simulation {
         if self.tracer.is_enabled() {
             stack.set_tracer(self.tracer.clone());
         }
-        let n = &mut self.nodes[node];
-        let core = Core::new(*n.core.config());
-        n.workers.push(Worker { core, stack, app });
-        n.sw_scheduled.push(false);
-        n.sw_waiting.push(false);
-        let nq = n.nic.num_queues();
-        let nlcores = n.lcores();
-        assert!(
-            nlcores <= nq,
-            "{nlcores} lcores need at least as many NIC queues (have {nq})"
-        );
-        for lcore in 0..nlcores {
-            let queues: Vec<usize> = (0..nq).filter(|q| q % nlcores == lcore).collect();
-            if lcore == 0 {
-                n.stack.assign_queues(queues);
-            } else {
-                n.workers[lcore - 1].stack.assign_queues(queues);
-            }
-        }
-        n.mem.set_num_cores(nlcores);
+        self.nodes[node].attach_worker(stack, app);
     }
 
     /// Installs a fault injector (see `simnet_sim::fault`). Clones of the
@@ -924,6 +955,9 @@ impl Simulation {
             Ev::FleetTx { client } => self.handle_fleet_tx(now, client),
             Ev::SwitchRx { packet } => self.handle_switch_rx(now, packet),
             Ev::FleetRx { client, packet } => self.handle_fleet_rx(now, client, packet),
+            Ev::ShardRx { .. } => {
+                unreachable!("cross-shard deliveries exist only on the sharded driver")
+            }
         }
     }
 
@@ -1155,9 +1189,9 @@ impl Simulation {
             },
         );
         let fabric = self.fabric.as_mut().expect("loadgen mode has a fabric");
-        let Verdict::Deliver(arrival) = fabric.uplinks[0].transmit(now, packet.len()) else {
-            unreachable!("the degenerate uplink is a pure wire: it never drops");
-        };
+        // The degenerate uplink is statically a pure wire (no queue, no
+        // loss), so the Verdict fast path skips the policy dispatch.
+        let arrival = fabric.uplinks[0].transmit_wire(now, packet.len());
         self.coalesce_delivery(BurstSink::Nic { node: 0 }, arrival, packet);
         let lg = self.loadgen.as_mut().expect("checked above");
         if let Some(next) = lg.next_departure(now) {
@@ -1456,13 +1490,11 @@ impl Simulation {
                 },
             );
             if self.loadgen.is_some() && node == 0 {
-                // Degenerate topology: the host→loadgen pure wire.
+                // Degenerate topology: the host→loadgen pure wire takes
+                // the same policy-free fast path as the uplink.
                 Self::tap(&mut self.capture, now, &packet);
                 let fabric = self.fabric.as_mut().expect("loadgen mode has a fabric");
-                let Verdict::Deliver(arrival) = fabric.downlinks[0].transmit(now, packet.len())
-                else {
-                    unreachable!("the degenerate downlink is a pure wire: it never drops");
-                };
+                let arrival = fabric.downlinks[0].transmit_wire(now, packet.len());
                 self.coalesce_delivery(BurstSink::LoadGen, arrival, packet);
             } else if self.fleet.is_some() && node == 0 {
                 // Fan-in topology: host→switch trunk, then MAC forwarding.
@@ -1580,47 +1612,85 @@ impl Simulation {
         if fabric.is_degenerate() {
             return;
         }
+        TopoStatsSnap::of_fabric(fabric).register(reg);
+    }
+}
+
+/// One [`TopoLink`]'s counter values, detached from the link (a plain
+/// `Send` value). The sharded driver snapshots links on their owning
+/// shard threads and reassembles the fabric section on the main thread;
+/// the legacy path snapshots the whole fabric in place.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct LinkStatsSnap {
+    pub(crate) frames: u64,
+    pub(crate) bytes: u64,
+    pub(crate) tail_drops: u64,
+    pub(crate) loss_drops: u64,
+    pub(crate) queue_peak: u64,
+}
+
+impl LinkStatsSnap {
+    pub(crate) fn of(link: &TopoLink) -> Self {
+        Self {
+            frames: link.frames.value(),
+            bytes: link.bytes.value(),
+            tail_drops: link.tail_drops.value(),
+            loss_drops: link.loss_drops.value(),
+            queue_peak: link.queue_peak() as u64,
+        }
+    }
+}
+
+/// The full `system.topo` section as detached values, so both drivers
+/// render byte-identical fabric statistics from one code path.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct TopoStatsSnap {
+    pub(crate) clients: u64,
+    pub(crate) unroutable: u64,
+    pub(crate) trunk: Option<LinkStatsSnap>,
+    pub(crate) uplinks: Vec<LinkStatsSnap>,
+    pub(crate) downlinks: Vec<LinkStatsSnap>,
+}
+
+impl TopoStatsSnap {
+    fn of_fabric(fabric: &Fabric) -> Self {
+        Self {
+            clients: fabric.uplinks.len() as u64,
+            unroutable: fabric.unroutable.value(),
+            trunk: fabric.trunk_up.as_ref().map(LinkStatsSnap::of),
+            uplinks: fabric.uplinks.iter().map(LinkStatsSnap::of).collect(),
+            downlinks: fabric.downlinks.iter().map(LinkStatsSnap::of).collect(),
+        }
+    }
+
+    /// Registers the `system.topo` section: switch and per-direction
+    /// link counters, with per-link breakdowns behind the `full` gate.
+    pub(crate) fn register(&self, reg: &mut StatsRegistry) {
         reg.scoped("system.topo", |reg| {
-            reg.scalar(
-                "clients",
-                fabric.uplinks.len() as u64,
-                "fleet endpoints behind the switch",
-            );
-            reg.scalar(
-                "unroutable",
-                fabric.unroutable.value(),
-                "frames with no switch route",
-            );
-            if let Some(trunk) = &fabric.trunk_up {
-                reg.scalar(
-                    "trunk.txFrames",
-                    trunk.frames.value(),
-                    "trunk frames toward host",
-                );
-                reg.scalar(
-                    "trunk.txBytes",
-                    trunk.bytes.value(),
-                    "trunk bytes toward host",
-                );
+            reg.scalar("clients", self.clients, "fleet endpoints behind the switch");
+            reg.scalar("unroutable", self.unroutable, "frames with no switch route");
+            if let Some(trunk) = &self.trunk {
+                reg.scalar("trunk.txFrames", trunk.frames, "trunk frames toward host");
+                reg.scalar("trunk.txBytes", trunk.bytes, "trunk bytes toward host");
                 reg.scalar(
                     "trunk.tailDrops",
-                    trunk.tail_drops.value(),
+                    trunk.tail_drops,
                     "trunk congestion-queue tail drops",
                 );
                 reg.scalar(
                     "trunk.lossDrops",
-                    trunk.loss_drops.value(),
+                    trunk.loss_drops,
                     "trunk random-loss drops",
                 );
                 reg.scalar(
                     "trunk.queuePeak",
-                    trunk.queue_peak() as u64,
+                    trunk.queue_peak,
                     "trunk congestion-queue high-water mark",
                 );
             }
-            let up_frames: u64 = fabric.uplinks.iter().map(|l| l.frames.value()).sum();
-            let up_loss: u64 = fabric.uplinks.iter().map(|l| l.loss_drops.value()).sum();
-            let down_frames: u64 = fabric.downlinks.iter().map(|l| l.frames.value()).sum();
+            let up_frames: u64 = self.uplinks.iter().map(|l| l.frames).sum();
+            let up_loss: u64 = self.uplinks.iter().map(|l| l.loss_drops).sum();
+            let down_frames: u64 = self.downlinks.iter().map(|l| l.frames).sum();
             reg.scalar(
                 "uplinks.txFrames",
                 up_frames,
@@ -1637,22 +1707,22 @@ impl Simulation {
                 "client downlink frames (all clients)",
             );
             if reg.full() {
-                for (i, l) in fabric.uplinks.iter().enumerate() {
+                for (i, l) in self.uplinks.iter().enumerate() {
                     reg.scalar(
                         &format!("uplink{i}.txFrames"),
-                        l.frames.value(),
+                        l.frames,
                         "client uplink frames",
                     );
                     reg.scalar(
                         &format!("uplink{i}.lossDrops"),
-                        l.loss_drops.value(),
+                        l.loss_drops,
                         "client uplink loss drops",
                     );
                 }
-                for (i, l) in fabric.downlinks.iter().enumerate() {
+                for (i, l) in self.downlinks.iter().enumerate() {
                     reg.scalar(
                         &format!("downlink{i}.txFrames"),
-                        l.frames.value(),
+                        l.frames,
                         "client downlink frames",
                     );
                 }

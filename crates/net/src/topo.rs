@@ -140,6 +140,42 @@ impl TopoLink {
         self.policy
     }
 
+    /// The link's propagation latency — the conservative-parallel
+    /// *lookahead*: a frame offered while the sender's clock reads `C`
+    /// can never arrive before `C + lookahead()`.
+    pub fn lookahead(&self) -> Tick {
+        self.policy.latency
+    }
+
+    /// Whether this link can never drop a frame: no bounded congestion
+    /// queue and no random loss. Pure wires take the branch-free
+    /// [`TopoLink::transmit_wire`] fast path.
+    pub fn is_pure_wire(&self) -> bool {
+        self.policy.queue_frames.is_none() && self.policy.loss_ppm == 0
+    }
+
+    /// Fast-path transmit for links [`TopoLink::is_pure_wire`] proves
+    /// can never drop: same serialization arithmetic and counters as
+    /// [`TopoLink::transmit`], minus the admission branches and the
+    /// `Verdict` wrap. Returns the arrival tick directly.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the link really is a pure wire; calling this on a
+    /// dropping link would silently skip its queue/loss policy.
+    #[inline]
+    pub fn transmit_wire(&mut self, now: Tick, frame_len: usize) -> Tick {
+        debug_assert!(self.is_pure_wire(), "transmit_wire on a dropping link");
+        self.offered.inc();
+        let start = now.max(self.busy_until);
+        let wire_bytes = frame_len as u64 + WIRE_OVERHEAD as u64;
+        let done = start + self.policy.bandwidth.bytes_to_ticks(wire_bytes);
+        self.busy_until = done;
+        self.frames.inc();
+        self.bytes.add(frame_len as u64);
+        done + self.policy.latency
+    }
+
     /// Offers a frame of `frame_len` bytes at `now`. Queue admission is
     /// checked first (tail-drop), then the loss draw, then the frame
     /// serializes behind the busy horizon exactly like `EtherLink`.
@@ -418,6 +454,30 @@ mod tests {
         assert_eq!(b - a, ns(67) + 200);
         assert_eq!(link.frames.value(), 2);
         assert_eq!(link.bytes.value(), 128);
+    }
+
+    #[test]
+    fn transmit_wire_fast_path_matches_transmit() {
+        let mut slow = wire(100.0, us(100));
+        let mut fast = wire(100.0, us(100));
+        assert!(fast.is_pure_wire());
+        for t in 0..64u64 {
+            let len = 64 + (t as usize * 37) % 1400;
+            let Verdict::Deliver(expect) = slow.transmit(t * 400, len) else {
+                panic!("pure wire dropped")
+            };
+            assert_eq!(fast.transmit_wire(t * 400, len), expect);
+        }
+        assert_eq!(fast.offered.value(), slow.offered.value());
+        assert_eq!(fast.frames.value(), slow.frames.value());
+        assert_eq!(fast.bytes.value(), slow.bytes.value());
+        assert_eq!(fast.next_free(), slow.next_free());
+        // Dropping policies are excluded from the fast path.
+        assert!(!TopoLink::new(LinkPolicy::bounded(Bandwidth::gbps(10.0), 0, 2), 7).is_pure_wire());
+        assert!(
+            !TopoLink::new(LinkPolicy::wire(Bandwidth::gbps(10.0), 0).with_loss(1), 7)
+                .is_pure_wire()
+        );
     }
 
     #[test]
